@@ -1,0 +1,111 @@
+// E11 (extension) — ablations of the scheme's design choices:
+//
+//  (a) fat payload: the paper's k-bit row vs the hybrid row/list choice —
+//      how much of the fat label is paying for hub-hub sparsity?
+//  (b) partition knowledge: realized degrees (Thm. 4) vs expected degrees
+//      only (Thm. 5 / future-work "incomplete knowledge") — what does
+//      knowing the true degrees buy?
+//  (c) threshold constant: canonical C' vs C'=1 vs data-driven min-C'
+//      (summary view of the E2 sweep, across alphas).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/baseline.h"
+#include "core/hybrid_scheme.h"
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "powerlaw/family.h"
+#include "powerlaw/fit.h"
+#include "powerlaw/threshold.h"
+#include "util/random.h"
+
+using namespace plg;
+
+int main() {
+  bench::header("E11a: fat payload — row (paper) vs hybrid row/list");
+  std::printf("%8s %5s | %10s %10s | %12s %12s\n", "n", "alpha", "row max",
+              "hyb max", "row total", "hyb total");
+  for (const double alpha : {2.2, 2.8}) {
+    for (unsigned lg = 14; lg <= 17; lg += 1) {
+      const std::size_t n = std::size_t{1} << lg;
+      Rng rng(bench::kSeed + lg);
+      const Graph g = chung_lu_power_law(n, alpha, 8.0, rng);
+      const std::uint64_t tau = tau_power_law(n, alpha, 1.0);
+      const auto plain = thin_fat_encode(g, tau).labeling.stats();
+      HybridScheme hybrid(tau);
+      const auto hyb = hybrid.encode(g).stats();
+      std::printf("%8zu %5.1f | %10zu %10zu | %12zu %12zu\n", n, alpha,
+                  plain.max_bits, hyb.max_bits, plain.total_bits,
+                  hyb.total_bits);
+    }
+  }
+  bench::note("row layout pays k bits per fat vertex for hub-hub rows that");
+  bench::note("are mostly empty; the hybrid list reclaims that space.");
+
+  bench::header("E11b: partition knowledge — realized vs expected degrees");
+  std::printf("%8s %5s | %10s %10s | %10s %10s\n", "n", "alpha",
+              "true max", "exp max", "true avg", "exp avg");
+  for (const double alpha : {2.3, 2.8}) {
+    for (unsigned lg = 14; lg <= 16; lg += 2) {
+      const std::size_t n = std::size_t{1} << lg;
+      Rng rng(bench::kSeed + 31 * lg);
+      const auto weights = power_law_weights(n, alpha, 6.0);
+      const Graph g = chung_lu(weights, rng);
+      PowerLawScheme informed(alpha, 1.0);
+      ExpectedDegreeScheme blind(weights, alpha, 1.0);
+      const auto a = informed.encode(g).stats();
+      const auto b = blind.encode(g).stats();
+      std::printf("%8zu %5.1f | %10zu %10zu | %10.1f %10.1f\n", n, alpha,
+                  a.max_bits, b.max_bits, a.avg_bits, b.avg_bits);
+    }
+  }
+  bench::note("expected-degree classification (Thm. 5 setting) costs only");
+  bench::note("the fluctuation of degrees around their means.");
+
+  bench::header("E11c: threshold constant — canonical C' / C'=1 / min-C'");
+  std::printf("%8s %5s | %10s %10s %10s\n", "n", "alpha", "canonical",
+              "C'=1", "min-C'");
+  for (const double alpha : {2.2, 2.5, 3.0}) {
+    const std::size_t n = 1 << 16;
+    Rng rng(bench::kSeed + static_cast<std::uint64_t>(alpha * 10));
+    const Graph g = chung_lu_power_law(n, alpha, 6.0, rng);
+    const auto fit = fit_power_law(g);
+    const double c_hat = min_Cprime(g, fit.alpha, fit.x_min);
+    PowerLawScheme canonical(fit.alpha);
+    PowerLawScheme unit(fit.alpha, 1.0);
+    PowerLawScheme fitted(fit.alpha, c_hat);
+    std::printf("%8zu %5.1f | %10zu %10zu %10zu\n", n, alpha,
+                canonical.encode(g).stats().max_bits,
+                unit.encode(g).stats().max_bits,
+                fitted.encode(g).stats().max_bits);
+  }
+  bench::note("the worst-case constant is the whole gap between theory-");
+  bench::note("faithful and practical label sizes at laptop scale.");
+
+  bench::header("E11d: list encodings — fixed-width vs gap-compressed");
+  std::printf("%8s %5s | %12s %12s %12s | %10s %10s\n", "n", "alpha",
+              "fixed total", "gap total", "tf total", "fixed max",
+              "gap max");
+  for (const double alpha : {2.3, 2.8}) {
+    const std::size_t n = 1 << 16;
+    Rng rng(bench::kSeed + 77 + static_cast<std::uint64_t>(alpha * 10));
+    const Graph g = chung_lu_power_law(n, alpha, 8.0, rng);
+    AdjListScheme fixed;
+    CompressedListScheme gap;
+    const auto fx = fixed.encode(g).stats();
+    const auto gp = gap.encode(g).stats();
+    const auto tf =
+        thin_fat_encode(g, tau_power_law(n, alpha, 1.0)).labeling.stats();
+    std::printf("%8zu %5.1f | %12zu %12zu %12zu | %10zu %10zu\n", n, alpha,
+                fx.total_bits, gp.total_bits, tf.total_bits, fx.max_bits,
+                gp.max_bits);
+  }
+  bench::note("gamma-coded gaps help exactly where lists are long (hubs:");
+  bench::note("dense ids, small gaps -> max shrinks ~40%) and hurt where");
+  bench::note("they are short (random sparse rows: gaps ~ n/deg cost");
+  bench::note("2log(n/deg) > log n). Compression alone still leaves the");
+  bench::note("hub max at Theta(Delta); only the thin/fat partition");
+  bench::note("removes it — the intro's contrast with [13, 14].");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// E4 — encoder/decoder throughput (the paper's practicality claim:
+// "decoding ... can be computed in O(log n) time"; Section 1.1 argues the
+// scheme's simplicity makes it appealing in practice).
+//
+// google-benchmark micro-benchmarks over a fixed power-law graph:
+//   * whole-graph encoding for the Theorem 3/4 and baseline schemes,
+//   * single-pair decode latency by pair kind (thin-thin / thin-fat /
+//     fat-fat), plus baseline and 1-query decodes.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/one_query.h"
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/config_model.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+constexpr std::size_t kN = 1 << 16;
+constexpr double kAlpha = 2.5;
+
+const Graph& test_graph() {
+  static const Graph g = [] {
+    Rng rng(0xbe7cc0de);
+    return config_model_power_law(kN, kAlpha, rng);
+  }();
+  return g;
+}
+
+void BM_EncodeThinFatPowerLaw(benchmark::State& state) {
+  const Graph& g = test_graph();
+  PowerLawScheme scheme(kAlpha, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encode(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_EncodeThinFatPowerLaw)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeThinFatParallel(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const std::uint64_t tau = 28;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thin_fat_encode_parallel(g, tau));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_EncodeThinFatParallel)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeSparse(benchmark::State& state) {
+  const Graph& g = test_graph();
+  SparseScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encode(g));
+  }
+}
+BENCHMARK(BM_EncodeSparse)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeAdjList(benchmark::State& state) {
+  const Graph& g = test_graph();
+  AdjListScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encode(g));
+  }
+}
+BENCHMARK(BM_EncodeAdjList)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeOneQuery(benchmark::State& state) {
+  const Graph& g = test_graph();
+  OneQueryScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encode(g));
+  }
+}
+BENCHMARK(BM_EncodeOneQuery)->Unit(benchmark::kMillisecond);
+
+struct DecodeFixture {
+  ThinFatEncoding enc;
+  std::vector<std::pair<Vertex, Vertex>> thin_thin;
+  std::vector<std::pair<Vertex, Vertex>> thin_fat;
+  std::vector<std::pair<Vertex, Vertex>> fat_fat;
+
+  DecodeFixture() {
+    const Graph& g = test_graph();
+    PowerLawScheme scheme(kAlpha, 1.0);
+    enc = scheme.encode_full(g);
+    Rng rng(0xdec0de);
+    const auto tau = enc.threshold;
+    std::vector<Vertex> fat;
+    std::vector<Vertex> thin;
+    for (Vertex v = 0; v < kN; ++v) {
+      (g.degree(v) >= tau ? fat : thin).push_back(v);
+    }
+    auto pick = [&rng](const std::vector<Vertex>& pool) {
+      return pool[rng.next_below(pool.size())];
+    };
+    for (int i = 0; i < 1024; ++i) {
+      thin_thin.emplace_back(pick(thin), pick(thin));
+      thin_fat.emplace_back(pick(thin), pick(fat));
+      fat_fat.emplace_back(pick(fat), pick(fat));
+    }
+  }
+};
+
+const DecodeFixture& fixture() {
+  static const DecodeFixture f;
+  return f;
+}
+
+void decode_loop(benchmark::State& state,
+                 const std::vector<std::pair<Vertex, Vertex>>& pairs) {
+  const auto& f = fixture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(
+        thin_fat_adjacent(f.enc.labeling[u], f.enc.labeling[v]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DecodeThinThin(benchmark::State& state) {
+  decode_loop(state, fixture().thin_thin);
+}
+BENCHMARK(BM_DecodeThinThin);
+
+void BM_DecodeThinFat(benchmark::State& state) {
+  decode_loop(state, fixture().thin_fat);
+}
+BENCHMARK(BM_DecodeThinFat);
+
+void BM_DecodeFatFat(benchmark::State& state) {
+  decode_loop(state, fixture().fat_fat);
+}
+BENCHMARK(BM_DecodeFatFat);
+
+void BM_DecodeAdjListBaseline(benchmark::State& state) {
+  const Graph& g = test_graph();
+  AdjListScheme scheme;
+  static const Labeling labeling = scheme.encode(g);
+  Rng rng(0xabc);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(rng.next_below(kN)),
+                       static_cast<Vertex>(rng.next_below(kN)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(scheme.adjacent(labeling[u], labeling[v]));
+  }
+}
+BENCHMARK(BM_DecodeAdjListBaseline);
+
+void BM_DecodeOneQuery(benchmark::State& state) {
+  const Graph& g = test_graph();
+  OneQueryScheme scheme;
+  static const Labeling labeling = scheme.encode(g);
+  static const LabelFetch fetch = [](std::uint64_t id) -> const Label& {
+    return labeling[static_cast<Vertex>(id)];
+  };
+  Rng rng(0xdef);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(static_cast<Vertex>(rng.next_below(kN)),
+                       static_cast<Vertex>(rng.next_below(kN)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(
+        OneQueryScheme::adjacent(labeling[u], labeling[v], fetch));
+  }
+}
+BENCHMARK(BM_DecodeOneQuery);
+
+}  // namespace
+}  // namespace plg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E9 — "Real-world" stand-ins (full-version evaluation table).
+//
+// The full version evaluates the scheme on real web/social/AS snapshots;
+// those datasets are not available offline, so each row here is a
+// synthetic Chung–Lu graph with the (n, alpha, avg degree) shape reported
+// in the literature for that network class, scaled to laptop n
+// (substitution documented in DESIGN.md). For each stand-in: fit alpha
+// back from the graph, encode with the fitted practical scheme, and
+// report the per-label and per-edge space against the adjacency-list
+// strawman and the Moon n/2 general-graph cost.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/baseline.h"
+#include "core/schemes.h"
+#include "gen/chung_lu.h"
+#include "powerlaw/family.h"
+#include "powerlaw/fit.h"
+#include "util/random.h"
+
+using namespace plg;
+
+namespace {
+
+struct StandIn {
+  const char* name;
+  std::size_t n;
+  double alpha;
+  double avg_degree;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("E9: real-world stand-ins (synthetic, shapes from lit.)");
+  const StandIn datasets[] = {
+      {"as-graph", 30000, 2.1, 4.0},    // AS-level internet topology
+      {"social", 60000, 2.3, 12.0},     // online social network
+      {"web", 100000, 2.7, 8.0},        // web host graph
+      {"citation", 40000, 3.0, 10.0},   // citation network
+  };
+  std::printf(
+      "%-10s %8s %6s %6s | %5s %6s %8s | %10s %10s | %10s | %9s\n",
+      "dataset", "n", "alpha", "d_avg", "a-hat", "C-hat", "tau",
+      "max bits", "avg bits", "adj-list", "moon n/2");
+  for (const StandIn& d : datasets) {
+    Rng rng(bench::kSeed + d.n);
+    const Graph g = chung_lu_power_law(d.n, d.alpha, d.avg_degree, rng);
+    const auto fit = fit_power_law(g);
+    // Data-driven tail constant: the minimal C' for which g is in
+    // P_h(x_min, alpha-hat). Dense-headed graphs (whose power law only
+    // starts above a cutoff) get a correspondingly larger threshold.
+    const double c_hat = min_Cprime(g, fit.alpha, fit.x_min);
+
+    PowerLawScheme scheme(fit.alpha, c_hat);
+    const auto enc = scheme.encode_full(g);
+    const auto stats = enc.labeling.stats();
+    AdjListScheme adjlist;
+    const auto al = adjlist.encode(g).stats();
+
+    std::printf(
+        "%-10s %8zu %6.1f %6.1f | %5.2f %6.1f %8llu | %10zu %10.1f | "
+        "%10zu | %9zu\n",
+        d.name, d.n, d.alpha, d.avg_degree, fit.alpha, c_hat,
+        static_cast<unsigned long long>(enc.threshold), stats.max_bits,
+        stats.avg_bits, al.max_bits, d.n / 2);
+  }
+  bench::note("expected (paper Sec. 8): labels 'requiring little space' —");
+  bench::note("max labels orders of magnitude below Moon's n/2 and far");
+  bench::note("below the adjacency-list hub blowup; avg close to a plain");
+  bench::note("neighbor list for the typical (thin) vertex.");
+  return 0;
+}

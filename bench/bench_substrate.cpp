@@ -1,0 +1,112 @@
+// Substrate micro-benchmarks (google-benchmark): CSR construction, BFS,
+// degeneracy peeling, forest decomposition, and the generators. These
+// document the cost of everything the labeling schemes stand on, so
+// encode-time numbers in E4 can be attributed.
+#include <benchmark/benchmark.h>
+
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "graph/algorithms.h"
+#include "graph/degree.h"
+#include "graph/forest_decomposition.h"
+#include "powerlaw/fit.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+constexpr std::size_t kN = 1 << 16;
+
+const Graph& test_graph() {
+  static const Graph g = [] {
+    Rng rng(0x5b57a7e);
+    return chung_lu_power_law(kN, 2.5, 8.0, rng);
+  }();
+  return g;
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto edges = test_graph().edge_list();
+  for (auto _ : state) {
+    GraphBuilder b(kN);
+    for (const Edge& e : edges) b.add_edge(e.u, e.v);
+    benchmark::DoNotOptimize(b.build());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrBuild)->Unit(benchmark::kMillisecond);
+
+void BM_BfsFull(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Vertex s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, s));
+    s = (s + 7919) % kN;
+  }
+}
+BENCHMARK(BM_BfsFull)->Unit(benchmark::kMillisecond);
+
+void BM_BfsCapped3(benchmark::State& state) {
+  const Graph& g = test_graph();
+  Vertex s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances_capped(g, s, 3));
+    s = (s + 7919) % kN;
+  }
+}
+BENCHMARK(BM_BfsCapped3)->Unit(benchmark::kMillisecond);
+
+void BM_DegeneracyOrder(benchmark::State& state) {
+  const Graph& g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degeneracy_order(g));
+  }
+}
+BENCHMARK(BM_DegeneracyOrder)->Unit(benchmark::kMillisecond);
+
+void BM_ForestDecomposition(benchmark::State& state) {
+  const Graph& g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_into_forests(g));
+  }
+}
+BENCHMARK(BM_ForestDecomposition)->Unit(benchmark::kMillisecond);
+
+void BM_PowerLawFit(benchmark::State& state) {
+  const auto degrees = degree_sequence(test_graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_power_law(degrees));
+  }
+}
+BENCHMARK(BM_PowerLawFit)->Unit(benchmark::kMillisecond);
+
+void BM_GenChungLu(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chung_lu_power_law(kN, 2.5, 8.0, rng));
+  }
+}
+BENCHMARK(BM_GenChungLu)->Unit(benchmark::kMillisecond);
+
+void BM_GenConfigModel(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config_model_power_law(kN, 2.5, rng));
+  }
+}
+BENCHMARK(BM_GenConfigModel)->Unit(benchmark::kMillisecond);
+
+void BM_GenBa(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_ba(kN, 3, rng));
+  }
+}
+BENCHMARK(BM_GenBa)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace plg
+
+BENCHMARK_MAIN();

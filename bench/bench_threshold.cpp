@@ -1,0 +1,87 @@
+// E2 — Threshold prediction vs empirical optimum (the full version's
+// "theoretical threshold is reasonably close to the optimum" claim).
+//
+// Fixes (n, alpha), sweeps the degree threshold tau over a grid, and
+// reports max label bits at each tau; then compares the empirical argmin
+// against the Theorem 4 prediction with C' = 1 and with the canonical C'.
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/thin_fat.h"
+#include "gen/config_model.h"
+#include "gen/pl_sequence.h"
+#include "powerlaw/threshold.h"
+#include "util/random.h"
+
+using namespace plg;
+
+namespace {
+
+void sweep(const char* name, const Graph& g, double alpha) {
+  const std::size_t n = g.num_vertices();
+  std::printf("\n-- %s (n=%zu, alpha=%.1f, max degree %zu) --\n", name, n,
+              alpha, g.max_degree());
+  std::printf("%8s | %10s %10s %8s\n", "tau", "max bits", "avg bits",
+              "#fat");
+
+  std::uint64_t best_tau = 1;
+  std::size_t best_bits = std::numeric_limits<std::size_t>::max();
+  std::vector<std::uint64_t> grid;
+  for (std::uint64_t tau = 2; tau <= 2 * g.max_degree(); tau =
+       tau * 5 / 4 + 1) {
+    grid.push_back(tau);
+  }
+  for (const std::uint64_t tau : grid) {
+    const auto enc = thin_fat_encode(g, tau);
+    const auto stats = enc.labeling.stats();
+    std::printf("%8llu | %10zu %10.1f %8zu\n",
+                static_cast<unsigned long long>(tau), stats.max_bits,
+                stats.avg_bits, enc.num_fat);
+    if (stats.max_bits < best_bits) {
+      best_bits = stats.max_bits;
+      best_tau = tau;
+    }
+  }
+
+  const std::uint64_t predicted = tau_power_law(n, alpha, 1.0);
+  const std::uint64_t canonical = tau_power_law(n, alpha);
+  const auto at_predicted = thin_fat_encode(g, predicted).labeling.stats();
+  const auto at_canonical = thin_fat_encode(g, canonical).labeling.stats();
+  std::printf("empirical optimum : tau=%llu -> %zu bits\n",
+              static_cast<unsigned long long>(best_tau), best_bits);
+  std::printf("predicted (C'=1)  : tau=%llu -> %zu bits (%.2fx optimum)\n",
+              static_cast<unsigned long long>(predicted),
+              at_predicted.max_bits,
+              static_cast<double>(at_predicted.max_bits) /
+                  static_cast<double>(best_bits));
+  std::printf("canonical C'      : tau=%llu -> %zu bits (%.2fx optimum)\n",
+              static_cast<unsigned long long>(canonical),
+              at_canonical.max_bits,
+              static_cast<double>(at_canonical.max_bits) /
+                  static_cast<double>(best_bits));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E2: threshold sweep — predicted tau vs empirical optimum");
+  Rng rng(bench::kSeed);
+  {
+    const double alpha = 2.5;
+    const Graph g = pl_graph(1 << 16, alpha);
+    sweep("exact P_l graph", g, alpha);
+  }
+  {
+    const double alpha = 2.5;
+    const Graph g = config_model_power_law(1 << 16, alpha, rng);
+    sweep("configuration model", g, alpha);
+  }
+  {
+    const double alpha = 2.1;
+    const Graph g = config_model_power_law(1 << 16, alpha, rng);
+    sweep("configuration model (heavier tail)", g, alpha);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and a single global seed so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace plg::bench {
+
+inline constexpr std::uint64_t kSeed = 0x9a7ec0de;
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace plg::bench

@@ -1,0 +1,119 @@
+// Peer-to-peer scenario (the paper's introduction): "disseminate the
+// structural information of the graph to its vertices and store it
+// locally ... inferring the graph's local topology using only local
+// information stored in each vertex without costly access to large,
+// global data structures."
+//
+// This example simulates exactly that: each node of a power-law overlay
+// holds ONLY its own label. Adjacency queries between two nodes exchange
+// the two labels (counted as message bytes); the 1-query variant is also
+// simulated, where the pair may additionally contact one third node.
+//
+//   $ ./p2p_adjacency [n]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "plg.h"
+
+namespace {
+
+using namespace plg;
+
+/// A node holds nothing but its labels.
+struct PeerNode {
+  Label adjacency_label;   // thin/fat scheme
+  Label one_query_label;   // Section 6 hashed-edge scheme
+};
+
+struct Network {
+  std::vector<PeerNode> nodes;
+  std::size_t messages = 0;
+  std::size_t bytes_on_wire = 0;
+
+  /// "Send" a label from one node to another.
+  const Label& transfer(const Label& l) {
+    ++messages;
+    bytes_on_wire += (l.size_bits() + 7) / 8;
+    return l;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+
+  // The overlay graph: power-law, as web/social overlays are modelled.
+  Rng rng(1234);
+  const Graph g = config_model_power_law(n, 2.4, rng);
+  std::printf("overlay: n=%zu, m=%zu, max degree %zu\n", g.num_vertices(),
+              g.num_edges(), g.max_degree());
+
+  // A (logically centralized, one-off) encoder labels every node; from
+  // here on the graph itself is never consulted again.
+  PowerLawScheme scheme(2.4, 1.0);
+  OneQueryScheme one_query;
+  const Labeling adjacency_labels = scheme.encode(g);
+  const Labeling one_query_labels = one_query.encode(g);
+
+  Network net;
+  net.nodes.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    net.nodes[v] = {adjacency_labels[v], one_query_labels[v]};
+  }
+
+  // --- Classic 2-label protocol. ---------------------------------------
+  Rng qrng(999);
+  std::size_t adjacent_found = 0;
+  constexpr int kQueries = 20000;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto u = static_cast<Vertex>(qrng.next_below(n));
+    const auto v = static_cast<Vertex>(qrng.next_below(n));
+    // u sends its label to v; v decides locally.
+    const Label& received = net.transfer(net.nodes[u].adjacency_label);
+    adjacent_found +=
+        thin_fat_adjacent(received, net.nodes[v].adjacency_label) ? 1 : 0;
+  }
+  std::printf("\n2-label protocol: %d queries, %zu adjacent\n", kQueries,
+              adjacent_found);
+  std::printf("  messages: %zu, bytes on wire: %zu (%.1f bytes/query)\n",
+              net.messages, net.bytes_on_wire,
+              static_cast<double>(net.bytes_on_wire) / kQueries);
+
+  // --- 1-query protocol (Section 6). ------------------------------------
+  Network net1;
+  net1.nodes = net.nodes;
+  std::size_t adjacent_found1 = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto u = static_cast<Vertex>(qrng.next_below(n));
+    const auto v = static_cast<Vertex>(qrng.next_below(n));
+    const Label& received = net1.transfer(net1.nodes[u].one_query_label);
+    // v routes one extra fetch to the bucket node named by the hash.
+    const LabelFetch fetch = [&](std::uint64_t id) -> const Label& {
+      return net1.transfer(
+          net1.nodes[static_cast<Vertex>(id)].one_query_label);
+    };
+    adjacent_found1 += OneQueryScheme::adjacent(
+                           received, net1.nodes[v].one_query_label, fetch)
+                           ? 1
+                           : 0;
+  }
+  std::printf("\n1-query protocol: %d queries, %zu adjacent\n", kQueries,
+              adjacent_found1);
+  std::printf("  messages: %zu, bytes on wire: %zu (%.1f bytes/query)\n",
+              net1.messages, net1.bytes_on_wire,
+              static_cast<double>(net1.bytes_on_wire) / kQueries);
+
+  const auto tf_stats = adjacency_labels.stats();
+  const auto oq_stats = one_query_labels.stats();
+  std::printf(
+      "\nPer-node storage: thin/fat max %zu bits (hubs are big), 1-query\n"
+      "max %zu bits. The 1-query relaxation (Section 6) doubles the\n"
+      "message count and pays a seed header per label, but bounds every\n"
+      "node's storage at O(log n) bits — no node ever has to hold or\n"
+      "ship a hub-sized label.\n",
+      tf_stats.max_bits, oq_stats.max_bits);
+  return 0;
+}

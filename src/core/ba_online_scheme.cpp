@@ -1,0 +1,65 @@
+#include "core/ba_online_scheme.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+Labeling BaOnlineScheme::encode(const Graph&) const {
+  throw EncodeError(
+      "BaOnlineScheme: requires BA growth history; use encode_ba()");
+}
+
+// Layout: gamma(width), id (width), gamma(list size + 1), sorted ids.
+Labeling BaOnlineScheme::encode_ba(const BaGraph& ba) const {
+  const Graph& g = ba.graph;
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  const std::size_t seed_size = ba.m + 1;
+
+  std::vector<Label> labels;
+  labels.reserve(n);
+  std::vector<std::uint32_t> list;
+  for (Vertex v = 0; v < n; ++v) {
+    list.clear();
+    if (v < seed_size) {
+      // Seed clique edges stored at the higher endpoint.
+      for (Vertex u = 0; u < v; ++u) list.push_back(u);
+    } else {
+      for (const Vertex t : ba.insertion_targets[v]) list.push_back(t);
+    }
+    std::sort(list.begin(), list.end());
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    w.write_gamma0(list.size());
+    for (const std::uint32_t t : list) w.write_bits(t, width);
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+bool BaOnlineScheme::adjacent(const Label& a, const Label& b) const {
+  BitReader ra = a.reader();
+  const int wa = ra.read_id_width();
+  const std::uint64_t ida = ra.read_bits(wa);
+  BitReader rb = b.reader();
+  const int wb = rb.read_id_width();
+  const std::uint64_t idb = rb.read_bits(wb);
+  if (wa != wb) throw DecodeError("ba-online: width mismatch");
+  if (ida == idb) return false;
+  const auto scan = [](BitReader& r, int width, std::uint64_t needle) {
+    const std::uint64_t len = r.read_gamma0();
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const std::uint64_t t = r.read_bits(width);
+      if (t == needle) return true;
+      if (t > needle) return false;  // sorted
+    }
+    return false;
+  };
+  return scan(ra, wa, idb) || scan(rb, wb, ida);
+}
+
+}  // namespace plg

@@ -1,0 +1,28 @@
+// Online BA labeling (Proposition 5, closing remark): "if the encoder
+// operates at the same time as the creation of the graph ... a m log n
+// labeling scheme, by storing the identifiers of the vertices to the node
+// introduced."
+//
+// Each vertex's label holds its id plus the ids of the m endpoints it
+// attached to at insertion time (seed vertices hold the subset of seed
+// edges pointing to lower ids, so every edge is stored exactly once).
+// Decoder: u ~ v iff v is in u's attachment list or u is in v's.
+#pragma once
+
+#include "core/labeling.h"
+#include "gen/ba.h"
+
+namespace plg {
+
+class BaOnlineScheme final : public AdjacencyScheme {
+ public:
+  const char* name() const noexcept override { return "ba-online"; }
+
+  /// Requires the BA growth history, so the plain Graph overload refuses.
+  Labeling encode(const Graph&) const override;
+
+  Labeling encode_ba(const BaGraph& ba) const;
+  bool adjacent(const Label& a, const Label& b) const override;
+};
+
+}  // namespace plg

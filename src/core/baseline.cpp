@@ -1,0 +1,146 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+// ---- AdjListScheme ---------------------------------------------------
+
+// Layout: gamma(width), id (width), gamma(deg+1), sorted neighbor ids.
+Labeling AdjListScheme::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    const auto nbs = g.neighbors(v);
+    w.write_gamma0(nbs.size());
+    for (const Vertex nb : nbs) w.write_bits(nb, width);
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+bool AdjListScheme::adjacent(const Label& a, const Label& b) const {
+  BitReader ra = a.reader();
+  const int wa = ra.read_id_width();
+  const std::uint64_t ida = ra.read_bits(wa);
+  BitReader rb = b.reader();
+  const int wb = rb.read_id_width();
+  const std::uint64_t idb = rb.read_bits(wb);
+  if (wa != wb) throw DecodeError("adj-list: width mismatch");
+  if (ida == idb) return false;
+  const std::uint64_t deg = ra.read_gamma0();
+  for (std::uint64_t i = 0; i < deg; ++i) {
+    const std::uint64_t nb = ra.read_bits(wa);
+    if (nb == idb) return true;
+    if (nb > idb) return false;  // sorted
+  }
+  return false;
+}
+
+// ---- CompressedListScheme ---------------------------------------------
+
+// Layout: gamma(width), id (width), gamma0(deg), then sorted neighbors as
+// gaps: gamma0(first id), then gamma(id_i - id_{i-1}) for the rest
+// (strictly increasing ids make every gap >= 1).
+Labeling CompressedListScheme::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    const auto nbs = g.neighbors(v);
+    w.write_gamma0(nbs.size());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Vertex nb : nbs) {  // CSR ranges are sorted
+      if (first) {
+        w.write_gamma0(nb);
+        first = false;
+      } else {
+        w.write_gamma(nb - prev);
+      }
+      prev = nb;
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+bool CompressedListScheme::adjacent(const Label& a, const Label& b) const {
+  BitReader ra = a.reader();
+  const int wa = ra.read_id_width();
+  const std::uint64_t ida = ra.read_bits(wa);
+  BitReader rb = b.reader();
+  const int wb = rb.read_id_width();
+  const std::uint64_t idb = rb.read_bits(wb);
+  if (wa != wb) throw DecodeError("adj-list(gap): width mismatch");
+  if (ida == idb) return false;
+  const std::uint64_t deg = ra.read_gamma0();
+  std::uint64_t current = 0;
+  for (std::uint64_t i = 0; i < deg; ++i) {
+    current = i == 0 ? ra.read_gamma0() : current + ra.read_gamma();
+    if (current == idb) return true;
+    if (current > idb) return false;  // strictly increasing
+  }
+  return false;
+}
+
+// ---- AdjMatrixScheme -------------------------------------------------
+
+// Layout: gamma(width), id (width), id bits of row (adjacency to j < id).
+Labeling AdjMatrixScheme::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    std::vector<std::uint64_t> row(words_for_bits(v), 0);
+    for (const Vertex nb : g.neighbors(v)) {
+      if (nb < v) row[nb / 64] |= std::uint64_t{1} << (nb % 64);
+    }
+    std::uint64_t remaining = v;
+    for (std::size_t i = 0; remaining > 0; ++i) {
+      const int chunk = static_cast<int>(std::min<std::uint64_t>(64, remaining));
+      w.write_bits(row[i], chunk);
+      remaining -= static_cast<std::uint64_t>(chunk);
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+bool AdjMatrixScheme::adjacent(const Label& a, const Label& b) const {
+  BitReader ra = a.reader();
+  const int wa = ra.read_id_width();
+  const std::uint64_t ida = ra.read_bits(wa);
+  BitReader rb = b.reader();
+  const int wb = rb.read_id_width();
+  const std::uint64_t idb = rb.read_bits(wb);
+  if (wa != wb) throw DecodeError("adj-matrix: width mismatch");
+  if (ida == idb) return false;
+  // Read bit `low` of the row stored in the higher-id label.
+  BitReader* hi = ida > idb ? &ra : &rb;
+  std::uint64_t low = std::min(ida, idb);
+  while (low >= 64) {
+    hi->read_bits(64);
+    low -= 64;
+  }
+  if (low > 0) hi->read_bits(static_cast<int>(low));
+  return hi->read_bit();
+}
+
+}  // namespace plg

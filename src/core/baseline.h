@@ -1,0 +1,46 @@
+// Baseline adjacency schemes the paper compares against implicitly:
+//
+//   AdjListScheme   — every vertex stores its full neighbor list
+//                     (the "no partition" strawman; max label is
+//                     Delta * log n bits, terrible for power-law hubs).
+//   AdjMatrixScheme — Moon-style general-graph labeling: vertex i stores
+//                     its adjacency row restricted to j < i, so the
+//                     decoder reads one bit of the higher-id label. Max
+//                     label n - 1 + log n + O(1) bits, average ~ n/2 —
+//                     the n/2 + O(1) benchmark of Section 1.2.
+#pragma once
+
+#include "core/labeling.h"
+
+namespace plg {
+
+class AdjListScheme final : public AdjacencyScheme {
+ public:
+  const char* name() const noexcept override { return "adj-list"; }
+  Labeling encode(const Graph& g) const override;
+  bool adjacent(const Label& a, const Label& b) const override;
+};
+
+class AdjMatrixScheme final : public AdjacencyScheme {
+ public:
+  const char* name() const noexcept override { return "adj-matrix(moon)"; }
+  Labeling encode(const Graph& g) const override;
+  bool adjacent(const Label& a, const Label& b) const override;
+};
+
+/// Gap-compressed adjacency list: sorted neighbor ids are stored as
+/// Elias-gamma coded gaps (WebGraph-style, the compression technique the
+/// paper's introduction contrasts labeling schemes with [13, 14]). Same
+/// decoder contract as AdjListScheme; labels shrink toward the entropy
+/// of the gap distribution — big wins on clustered/local graphs, modest
+/// ones on random graphs (gaps ~ n/deg are still log n bits). Used by
+/// bench_ablation (E11d) to show the thin/fat scheme's savings are
+/// orthogonal to plain list compression.
+class CompressedListScheme final : public AdjacencyScheme {
+ public:
+  const char* name() const noexcept override { return "adj-list(gap)"; }
+  Labeling encode(const Graph& g) const override;
+  bool adjacent(const Label& a, const Label& b) const override;
+};
+
+}  // namespace plg

@@ -1,0 +1,76 @@
+#include "core/distance_baseline.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+// Layout: gamma(width), gamma(n+1), gamma(far+1), id, n dist fields of
+// id_width(far+1) bits; `far` is the in-band unreachable sentinel.
+Labeling DistanceBaseline::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+
+  std::uint32_t max_d = 0;
+  std::vector<std::vector<std::uint32_t>> all(n);
+  for (Vertex v = 0; v < n; ++v) {
+    all[v] = bfs_distances(g, v);
+    for (const auto d : all[v]) {
+      if (d != kInfDist) max_d = std::max(max_d, d);
+    }
+  }
+  const std::uint32_t far = max_d + 1;
+  const int dist_width = id_width(static_cast<std::uint64_t>(far) + 1);
+
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_gamma(static_cast<std::uint64_t>(n) + 1);
+    w.write_gamma(static_cast<std::uint64_t>(far) + 1);
+    w.write_bits(v, width);
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint32_t d = all[v][u] == kInfDist ? far : all[v][u];
+      w.write_bits(d, dist_width);
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+std::optional<std::uint32_t> DistanceBaseline::distance(const Label& a,
+                                                        const Label& b) {
+  BitReader ra = a.reader();
+  const int width = ra.read_id_width();
+  const std::uint64_t n = ra.read_gamma() - 1;
+  const std::uint64_t far = ra.read_gamma() - 1;
+  const int dist_width = id_width(far + 1);
+  const std::uint64_t ida = ra.read_bits(width);
+
+  BitReader rb = b.reader();
+  const int width_b = rb.read_id_width();
+  const std::uint64_t n_b = rb.read_gamma() - 1;
+  const std::uint64_t far_b = rb.read_gamma() - 1;
+  const std::uint64_t idb = rb.read_bits(width_b);
+  if (width != width_b || n != n_b || far != far_b) {
+    throw DecodeError("distance-baseline: labels from different encodings");
+  }
+  if (idb >= n) throw DecodeError("distance-baseline: id out of range");
+  if (ida == idb) return 0;
+
+  std::uint64_t skip = idb * static_cast<std::uint64_t>(dist_width);
+  while (skip >= 64) {
+    ra.read_bits(64);
+    skip -= 64;
+  }
+  if (skip > 0) ra.read_bits(static_cast<int>(skip));
+  const std::uint64_t d = ra.read_bits(dist_width);
+  if (d >= far) return std::nullopt;
+  return static_cast<std::uint32_t>(d);
+}
+
+}  // namespace plg

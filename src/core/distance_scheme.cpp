@@ -1,0 +1,197 @@
+#include "core/distance_scheme.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "powerlaw/threshold.h"
+#include "util/bits.h"
+#include "util/bitvector.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+struct Header {
+  int width = 0;        // id field width
+  int dist_width = 0;   // distance field width
+  std::uint64_t f = 0;  // hop bound
+  std::uint64_t k = 0;  // number of fat vertices
+  bool fat = false;
+  std::uint64_t id = 0;
+  std::uint64_t rank = 0;  // fat rank (valid iff fat)
+  BitReader rest;          // positioned at the fat-distance table
+};
+
+Header parse(const Label& l) {
+  BitReader r = l.reader();
+  Header h;
+  h.width = static_cast<int>(r.read_gamma());
+  if (h.width > 32) throw DecodeError("distance: absurd id width");
+  h.f = r.read_gamma0();
+  h.dist_width = id_width(h.f + 2);  // values 0..f plus the "far" sentinel
+  h.k = r.read_gamma0();
+  h.fat = r.read_bit();
+  h.id = r.read_bits(h.width);
+  if (h.fat) h.rank = r.read_gamma0();
+  h.rest = r;
+  return h;
+}
+
+/// Reads fat-table entry `rank` from a label positioned at its table.
+/// Destroys the reader position (copy the Header first if reused).
+std::uint64_t fat_entry(Header& h, std::uint64_t rank) {
+  std::uint64_t skip = rank * static_cast<std::uint64_t>(h.dist_width);
+  while (skip >= 64) {
+    h.rest.read_bits(64);
+    skip -= 64;
+  }
+  if (skip > 0) h.rest.read_bits(static_cast<int>(skip));
+  return h.rest.read_bits(h.dist_width);
+}
+
+}  // namespace
+
+DistanceScheme::DistanceScheme(std::uint64_t f, double alpha)
+    : f_(f), alpha_(alpha) {
+  if (f < 1) throw EncodeError("DistanceScheme: f must be >= 1");
+  if (alpha <= 1.0) throw EncodeError("DistanceScheme: alpha must be > 1");
+}
+
+DistanceEncoding DistanceScheme::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const std::uint64_t tau = tau_distance(n, alpha_, f_);
+  const std::uint64_t far = f_ + 1;  // sentinel: "more than f hops"
+  const int width = id_width(n);
+  const int dist_width = id_width(f_ + 2);
+
+  // Fat ranks.
+  std::vector<Vertex> fat_vertices;
+  std::vector<std::uint32_t> rank(n, 0);
+  BitVector thin_mask(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) >= tau) {
+      rank[v] = static_cast<std::uint32_t>(fat_vertices.size());
+      fat_vertices.push_back(v);
+    } else {
+      thin_mask.set(v);
+    }
+  }
+  const std::size_t k = fat_vertices.size();
+
+  // Part (i): one capped BFS per fat vertex fills everyone's column.
+  // fat_table[v * k + r] = min(d(v, fat_r), far). Stored as bytes to keep
+  // the n * k staging matrix affordable; f > 254 would need wider cells.
+  if (far > 255) {
+    throw EncodeError("DistanceScheme: f > 254 not supported");
+  }
+  std::vector<std::uint8_t> fat_table;
+  fat_table.assign(n * k, static_cast<std::uint8_t>(far));
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto dist = bfs_distances_capped(g, fat_vertices[r],
+                                           static_cast<std::uint32_t>(f_));
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != kInfDist) {
+        fat_table[static_cast<std::size_t>(v) * k + r] =
+            static_cast<std::uint8_t>(dist[v]);
+      }
+    }
+  }
+
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_gamma0(f_);
+    w.write_gamma0(k);
+    const bool fat = g.degree(v) >= tau;
+    w.write_bit(fat);
+    w.write_bits(v, width);
+    if (fat) w.write_gamma0(rank[v]);
+    for (std::size_t r = 0; r < k; ++r) {
+      w.write_bits(fat_table[static_cast<std::size_t>(v) * k + r],
+                   dist_width);
+    }
+    if (!fat) {
+      // Part (ii): thin-only BFS ball around v.
+      auto ball = bfs_ball_masked(g, v, static_cast<std::uint32_t>(f_),
+                                  thin_mask);
+      std::sort(ball.begin(), ball.end());
+      w.write_gamma0(ball.size());
+      for (const auto& [u, d] : ball) {
+        w.write_bits(u, width);
+        w.write_bits(d, dist_width);
+      }
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+
+  DistanceEncoding out;
+  out.labeling = Labeling(std::move(labels));
+  out.f = f_;
+  out.threshold = tau;
+  out.num_fat = k;
+  return out;
+}
+
+std::optional<std::uint32_t> DistanceScheme::distance(const Label& a,
+                                                      const Label& b) {
+  Header ha = parse(a);
+  Header hb = parse(b);
+  if (ha.width != hb.width || ha.f != hb.f || ha.k != hb.k) {
+    throw DecodeError("distance: labels come from different encodings");
+  }
+  if (ha.id == hb.id) return 0;
+  const std::uint64_t far = ha.f + 1;
+  std::uint64_t best = far;
+
+  if (ha.fat || hb.fat) {
+    // Read the fat endpoint's distance out of the other label's table
+    // (both directions when both are fat — they agree, so one suffices).
+    Header& fat_side = ha.fat ? ha : hb;
+    Header& other = ha.fat ? hb : ha;
+    best = std::min(best, fat_entry(other, fat_side.rank));
+  }
+  if (!ha.fat && !hb.fat) {
+    // Join the two fat tables: min over ranks of d(u,w) + d(w,v).
+    BitReader ta = ha.rest;
+    BitReader tb = hb.rest;
+    for (std::uint64_t r = 0; r < ha.k; ++r) {
+      const std::uint64_t du = ta.read_bits(ha.dist_width);
+      const std::uint64_t dv = tb.read_bits(hb.dist_width);
+      if (du < far && dv < far) best = std::min(best, du + dv);
+    }
+    // Thin-only tables on both sides.
+    const auto scan_thin = [&](BitReader r, int width, int dist_width,
+                               std::uint64_t needle) -> std::uint64_t {
+      const std::uint64_t count = r.read_gamma0();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t id = r.read_bits(width);
+        const std::uint64_t d = r.read_bits(dist_width);
+        if (id == needle) return d;
+        if (id > needle) return far;  // sorted by id
+      }
+      return far;
+    };
+    // Position readers past the fat tables (k entries each).
+    BitReader sa = ha.rest;
+    BitReader sb = hb.rest;
+    std::uint64_t skip = ha.k * static_cast<std::uint64_t>(ha.dist_width);
+    for (BitReader* r : {&sa, &sb}) {
+      std::uint64_t left = skip;
+      while (left >= 64) {
+        r->read_bits(64);
+        left -= 64;
+      }
+      if (left > 0) r->read_bits(static_cast<int>(left));
+    }
+    best = std::min(best, scan_thin(sa, ha.width, ha.dist_width, hb.id));
+    best = std::min(best, scan_thin(sb, hb.width, hb.dist_width, ha.id));
+  }
+
+  if (best > ha.f) return std::nullopt;
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace plg

@@ -1,0 +1,194 @@
+#include "core/dynamic_scheme.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+struct Parsed {
+  int width = 0;
+  bool fat = false;
+  std::uint64_t id = 0;
+  BitReader rest;
+};
+
+Parsed parse(const Label& l) {
+  BitReader r = l.reader();
+  Parsed p;
+  p.width = static_cast<int>(r.read_gamma());
+  if (p.width > 32) throw DecodeError("dynamic: absurd id width");
+  p.fat = r.read_bit();
+  p.id = r.read_bits(p.width);
+  p.rest = r;
+  return p;
+}
+
+/// Reads bit `pos` of a row of `len` bits the reader is positioned at.
+/// Bits beyond the stored length read as 0 (lazy row extension).
+bool row_bit(BitReader r, std::uint64_t len, std::uint64_t pos) {
+  if (pos >= len) return false;
+  while (pos >= 64) {
+    r.read_bits(64);
+    pos -= 64;
+  }
+  if (pos > 0) r.read_bits(static_cast<int>(pos));
+  return r.read_bit();
+}
+
+}  // namespace
+
+DynamicScheme::DynamicScheme(std::size_t capacity, std::uint64_t tau)
+    : capacity_(capacity), width_(id_width(capacity)), tau_(tau) {
+  if (capacity == 0) throw EncodeError("DynamicScheme: capacity must be > 0");
+  if (tau < 1) throw EncodeError("DynamicScheme: tau must be >= 1");
+}
+
+Vertex DynamicScheme::add_vertex() {
+  if (adjacency_.size() >= capacity_) {
+    throw EncodeError("DynamicScheme: capacity exhausted");
+  }
+  const auto v = static_cast<Vertex>(adjacency_.size());
+  adjacency_.emplace_back();
+  rank_.push_back(kNoRank);
+  labels_.emplace_back();
+  rewrite_label(v);
+  // The initial (empty) label is part of vertex creation, not counted as
+  // a re-label: dynamic labeling schemes charge relabels for *updates*.
+  stats_.relabels -= 1;
+  stats_.bytes_rewritten -= (labels_[v].size_bits() + 7) / 8;
+  return v;
+}
+
+bool DynamicScheme::add_edge(Vertex u, Vertex v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    throw EncodeError("DynamicScheme: vertex id out of range");
+  }
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;  // duplicate
+
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  ++stats_.edge_insertions;
+
+  for (const Vertex x : {u, v}) {
+    if (!is_fat(x) && adjacency_[x].size() >= tau_) {
+      rank_[x] = static_cast<std::uint32_t>(fat_rank_of_.size());
+      fat_rank_of_.push_back(x);
+      ++stats_.promotions;
+    }
+  }
+  // Exactly two label rewrites per successful insertion (promotion is
+  // folded into the same rewrite).
+  rewrite_label(u);
+  rewrite_label(v);
+  return true;
+}
+
+bool DynamicScheme::remove_edge(Vertex u, Vertex v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    throw EncodeError("DynamicScheme: vertex id out of range");
+  }
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;  // absent
+
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --num_edges_;
+  ++stats_.edge_deletions;
+
+  // Hysteresis demotion: fall back to thin only well below tau, so an
+  // adversary toggling one edge cannot force a relabel storm. The
+  // retired rank is never reused; stale row bits at it are unreachable
+  // (no live label carries that rank) and vanish at the owners' next
+  // rewrites.
+  for (const Vertex x : {u, v}) {
+    if (is_fat(x) && adjacency_[x].size() < tau_ / 2) {
+      rank_[x] = kNoRank;
+      ++stats_.demotions;
+    }
+  }
+  rewrite_label(u);
+  rewrite_label(v);
+  return true;
+}
+
+void DynamicScheme::rewrite_label(Vertex v) {
+  BitWriter w;
+  w.write_gamma(static_cast<std::uint64_t>(width_));
+  const bool fat = is_fat(v);
+  w.write_bit(fat);
+  w.write_bits(v, width_);
+  if (fat) {
+    w.write_gamma0(rank_[v]);
+    // Row over fat ranks, long enough to cover the highest-ranked fat
+    // neighbor known *now*; later promotions are covered by the OR rule.
+    std::uint64_t row_len = 0;
+    for (const Vertex nb : adjacency_[v]) {
+      if (is_fat(nb)) {
+        row_len = std::max<std::uint64_t>(row_len, rank_[nb] + 1);
+      }
+    }
+    w.write_gamma0(row_len);
+    std::vector<std::uint64_t> row(words_for_bits(row_len), 0);
+    for (const Vertex nb : adjacency_[v]) {
+      if (is_fat(nb) && rank_[nb] < row_len) {
+        row[rank_[nb] / 64] |= std::uint64_t{1} << (rank_[nb] % 64);
+      }
+    }
+    std::uint64_t remaining = row_len;
+    for (std::size_t i = 0; remaining > 0; ++i) {
+      const int chunk =
+          static_cast<int>(std::min<std::uint64_t>(64, remaining));
+      w.write_bits(row[i], chunk);
+      remaining -= static_cast<std::uint64_t>(chunk);
+    }
+  } else {
+    w.write_gamma0(adjacency_[v].size());
+    for (const Vertex nb : adjacency_[v]) w.write_bits(nb, width_);
+  }
+  labels_[v] = Label::from_writer(std::move(w));
+  ++stats_.relabels;
+  stats_.bytes_rewritten += (labels_[v].size_bits() + 7) / 8;
+}
+
+bool DynamicScheme::adjacent(const Label& a, const Label& b) {
+  Parsed pa = parse(a);
+  Parsed pb = parse(b);
+  if (pa.width != pb.width) {
+    throw DecodeError("dynamic: labels come from different schemes");
+  }
+  if (pa.id == pb.id) return false;
+
+  if (pa.fat && pb.fat) {
+    const std::uint64_t rank_a = pa.rest.read_gamma0();
+    const std::uint64_t len_a = pa.rest.read_gamma0();
+    const std::uint64_t rank_b = pb.rest.read_gamma0();
+    const std::uint64_t len_b = pb.rest.read_gamma0();
+    return row_bit(pa.rest, len_a, rank_b) ||
+           row_bit(pb.rest, len_b, rank_a);
+  }
+
+  const Parsed& thin = pa.fat ? pb : pa;
+  const std::uint64_t other_id = pa.fat ? pa.id : pb.id;
+  BitReader r = thin.rest;
+  const std::uint64_t deg = r.read_gamma0();
+  for (std::uint64_t i = 0; i < deg; ++i) {
+    const std::uint64_t nb = r.read_bits(thin.width);
+    if (nb == other_id) return true;
+    if (nb > other_id) return false;  // lists are kept sorted
+  }
+  return false;
+}
+
+}  // namespace plg

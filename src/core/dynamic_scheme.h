@@ -1,0 +1,119 @@
+// Dynamic thin/fat adjacency labeling (the paper's first future-work
+// item: "Our labeling schemes are designed for static networks, and while
+// it seems not difficult to extend our idea to dynamic networks, an
+// analysis is required to account for the communication and number of
+// re-labels incurred by such an extension.")
+//
+// This module is that extension for incremental graphs (vertex and edge
+// insertions, the growth model of Korman–Peleg-style dynamic schemes and
+// of the BA process itself):
+//
+//   * identifiers are the (stable) vertex ids — no renumbering ever;
+//   * a vertex whose degree reaches tau is PROMOTED to fat and assigned
+//     the next fat *rank* (promotion order), which is also stable;
+//   * fat labels hold a bit row indexed by fat rank, extended lazily:
+//     bits beyond a row's stored length read as 0, and the decoder ORs
+//     the two rows of a fat-fat pair, so a row only needs to cover fat
+//     neighbors promoted before the row's last rewrite;
+//   * thin labels hold the plain neighbor list.
+//
+// Re-label accounting (the analysis the paper asks for): an edge
+// insertion rewrites exactly the two endpoint labels; a promotion
+// rewrites exactly the promoted vertex's label. Hence
+//     total relabels <= 2 * (#edge insertions) + (#promotions)
+// and #promotions <= n, so the scheme does O(1) amortized relabels per
+// update — no cascading. Label sizes match the static engine's bounds
+// for the same tau (rows are at most k bits, lists at most (tau-1) ids).
+//
+// Deletions are supported too, and stay at two rewrites per update,
+// because the thin/fat decoder is PARTITION-AGNOSTIC (correctness never
+// depends on who is fat): a fat vertex whose degree falls keeps its rank
+// until the hysteresis point degree < tau/2, where it is DEMOTED back to
+// a plain thin label. Its retired rank is simply never queried again —
+// no other label needs to change — so demotion is also a single rewrite.
+// Hysteresis (promote at tau, demote at tau/2) keeps an adversary from
+// forcing a promotion cascade by toggling one edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/labeling.h"
+#include "graph/graph.h"
+
+namespace plg {
+
+struct DynamicStats {
+  std::size_t edge_insertions = 0;
+  std::size_t edge_deletions = 0;
+  std::size_t promotions = 0;
+  std::size_t demotions = 0;
+  std::size_t relabels = 0;        ///< number of label rewrites
+  std::size_t bytes_rewritten = 0; ///< communication: bytes of rewritten labels
+};
+
+class DynamicScheme {
+ public:
+  /// capacity: maximum number of vertices (fixes the id width, hence the
+  /// label format). tau: the degree threshold, typically
+  /// tau_power_law(capacity, alpha) — fixed for the scheme's lifetime.
+  DynamicScheme(std::size_t capacity, std::uint64_t tau);
+
+  /// Adds an isolated vertex; returns its id. Throws EncodeError at
+  /// capacity.
+  Vertex add_vertex();
+
+  /// Inserts edge (u, v). Ignores duplicates and self-loops (returns
+  /// false). Rewrites at most the two endpoint labels (+1 promotion
+  /// rewrite each, already counted in those two).
+  bool add_edge(Vertex u, Vertex v);
+
+  /// Deletes edge (u, v); returns false if absent. Also exactly two
+  /// label rewrites; endpoints whose degree falls below tau/2 are
+  /// demoted to thin in the same rewrite.
+  bool remove_edge(Vertex u, Vertex v);
+
+  std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+  std::uint64_t threshold() const noexcept { return tau_; }
+
+  /// Currently-fat vertex count (promotions minus demotions).
+  std::size_t num_fat() const noexcept {
+    std::size_t k = 0;
+    for (const auto r : rank_) k += r != kNoRank ? 1 : 0;
+    return k;
+  }
+
+  /// The current label of v (always up to date).
+  const Label& label(Vertex v) const { return labels_[v]; }
+
+  /// Decoder: pure function of two labels (same format guarantees as the
+  /// static schemes — throws DecodeError on malformed/mixed labels).
+  static bool adjacent(const Label& a, const Label& b);
+
+  const DynamicStats& stats() const noexcept { return stats_; }
+
+  /// Snapshot of all labels (e.g. to compare against a static encode).
+  Labeling snapshot() const { return Labeling(labels_); }
+
+ private:
+  void rewrite_label(Vertex v);
+  bool is_fat(Vertex v) const noexcept {
+    return rank_[v] != kNoRank;
+  }
+
+  static constexpr std::uint32_t kNoRank = static_cast<std::uint32_t>(-1);
+
+  std::size_t capacity_;
+  int width_;
+  std::uint64_t tau_;
+  std::size_t num_edges_ = 0;
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::vector<std::uint32_t> rank_;      // fat rank or kNoRank
+  std::vector<Vertex> fat_rank_of_;      // rank -> vertex
+  std::vector<Label> labels_;
+  DynamicStats stats_;
+};
+
+}  // namespace plg

@@ -1,0 +1,78 @@
+#include "core/forest_scheme.h"
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+Labeling ForestScheme::encode_with(const Graph& g,
+                                   const ForestDecomposition& fd) {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  const std::size_t d = fd.forests.size();
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_gamma0(d);
+    w.write_bits(v, width);
+    for (const Forest& f : fd.forests) {
+      const Vertex p = f.parent[v];
+      if (p == Forest::kNoParent) {
+        w.write_bit(false);
+      } else {
+        w.write_bit(true);
+        w.write_bits(p, width);
+      }
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+Labeling ForestScheme::encode(const Graph& g) const {
+  return encode_with(g, decompose_into_forests(g));
+}
+
+namespace {
+struct ForestLabel {
+  int width = 0;
+  std::uint64_t id = 0;
+  // parent id per forest, or width-max sentinel for none.
+  std::vector<std::uint64_t> parents;
+};
+
+ForestLabel parse(const Label& l) {
+  BitReader r = l.reader();
+  ForestLabel out;
+  out.width = static_cast<int>(r.read_gamma());
+  if (out.width > 32) throw DecodeError("forest: absurd id width");
+  const std::uint64_t d = r.read_gamma0();
+  out.id = r.read_bits(out.width);
+  out.parents.reserve(d);
+  for (std::uint64_t i = 0; i < d; ++i) {
+    if (r.read_bit()) {
+      out.parents.push_back(r.read_bits(out.width));
+    } else {
+      out.parents.push_back(~std::uint64_t{0});
+    }
+  }
+  return out;
+}
+}  // namespace
+
+bool ForestScheme::adjacent(const Label& a, const Label& b) const {
+  const ForestLabel la = parse(a);
+  const ForestLabel lb = parse(b);
+  if (la.width != lb.width || la.parents.size() != lb.parents.size()) {
+    throw DecodeError("forest: labels come from different encodings");
+  }
+  if (la.id == lb.id) return false;
+  for (std::size_t i = 0; i < la.parents.size(); ++i) {
+    if (la.parents[i] == lb.id || lb.parents[i] == la.id) return true;
+  }
+  return false;
+}
+
+}  // namespace plg

@@ -1,0 +1,165 @@
+#include "core/hub_labeling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+struct HubEntry {
+  std::uint32_t rank;  // hub's position in the processing order
+  std::uint32_t dist;
+};
+
+/// Distance query over in-construction label lists (sorted by rank).
+std::uint32_t query_lists(const std::vector<HubEntry>& a,
+                          const std::vector<HubEntry>& b) {
+  std::uint32_t best = static_cast<std::uint32_t>(-1);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].rank == b[j].rank) {
+      best = std::min(best, a[i].dist + b[j].dist);
+      ++i;
+      ++j;
+    } else if (a[i].rank < b[j].rank) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HubLabelingResult HubLabeling::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+
+  // Descending-degree order: hubs first — the ordering that makes pruned
+  // BFS effective on power-law graphs.
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+
+  std::vector<std::vector<HubEntry>> hubs(n);
+  std::vector<std::uint32_t> dist(n, static_cast<std::uint32_t>(-1));
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  std::vector<Vertex> touched;
+
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    const Vertex h = order[rank];
+    // Pruned BFS from h.
+    frontier.assign(1, h);
+    touched.assign(1, h);
+    dist[h] = 0;
+    std::uint32_t d = 0;
+    while (!frontier.empty()) {
+      for (const Vertex u : frontier) {
+        // Prune: if existing labels already certify d(h, u) <= d, the
+        // whole subtree is covered by earlier (higher) hubs.
+        if (query_lists(hubs[h], hubs[u]) <= d) continue;
+        hubs[u].push_back({rank, d});
+        for (const Vertex w : g.neighbors(u)) {
+          if (dist[w] == static_cast<std::uint32_t>(-1)) {
+            dist[w] = d + 1;
+            next.push_back(w);
+            touched.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next);
+      next.clear();
+      ++d;
+    }
+    for (const Vertex u : touched) dist[u] = static_cast<std::uint32_t>(-1);
+  }
+
+  // Serialize.
+  HubLabelingResult result;
+  std::vector<Label> labels;
+  labels.reserve(n);
+  std::size_t total_hubs = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& list = hubs[v];  // already sorted by rank (push order)
+    total_hubs += list.size();
+    result.max_hubs = std::max(result.max_hubs, list.size());
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    w.write_gamma0(list.size());
+    std::uint32_t prev_rank = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::uint64_t delta =
+          i == 0 ? static_cast<std::uint64_t>(list[i].rank) + 1
+                 : list[i].rank - prev_rank;  // strictly increasing
+      w.write_gamma(delta);
+      w.write_gamma0(list[i].dist);
+      prev_rank = list[i].rank;
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  result.labeling = Labeling(std::move(labels));
+  result.avg_hubs_per_vertex =
+      n == 0 ? 0.0 : static_cast<double>(total_hubs) / static_cast<double>(n);
+  return result;
+}
+
+std::optional<std::uint32_t> HubLabeling::distance(const Label& a,
+                                                   const Label& b) {
+  BitReader ra = a.reader();
+  const int wa = ra.read_id_width();
+  const std::uint64_t ida = ra.read_bits(wa);
+  BitReader rb = b.reader();
+  const int wb = rb.read_id_width();
+  const std::uint64_t idb = rb.read_bits(wb);
+  if (wa != wb) throw DecodeError("hub-labeling: width mismatch");
+  if (ida == idb) return 0;
+
+  const std::uint64_t ca = ra.read_gamma0();
+  const std::uint64_t cb = rb.read_gamma0();
+  // Streaming sorted-merge over the two delta-coded lists.
+  std::uint64_t ia = 0;
+  std::uint64_t ib = 0;
+  std::uint64_t rank_a = 0;
+  std::uint64_t rank_b = 0;
+  std::uint64_t dist_a = 0;
+  std::uint64_t dist_b = 0;
+  bool have_a = false;
+  bool have_b = false;
+  std::uint64_t best = static_cast<std::uint64_t>(-1);
+  auto advance = [](BitReader& r, std::uint64_t& rank, std::uint64_t& dist,
+                    std::uint64_t& i, std::uint64_t count, bool first) {
+    if (i >= count) return false;
+    const std::uint64_t delta = r.read_gamma();
+    rank = first ? delta - 1 : rank + delta;
+    dist = r.read_gamma0();
+    ++i;
+    return true;
+  };
+  have_a = advance(ra, rank_a, dist_a, ia, ca, true);
+  have_b = advance(rb, rank_b, dist_b, ib, cb, true);
+  while (have_a && have_b) {
+    if (rank_a == rank_b) {
+      best = std::min(best, dist_a + dist_b);
+      have_a = advance(ra, rank_a, dist_a, ia, ca, false);
+      have_b = advance(rb, rank_b, dist_b, ib, cb, false);
+    } else if (rank_a < rank_b) {
+      have_a = advance(ra, rank_a, dist_a, ia, ca, false);
+    } else {
+      have_b = advance(rb, rank_b, dist_b, ib, cb, false);
+    }
+  }
+  if (best == static_cast<std::uint64_t>(-1)) return std::nullopt;
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace plg

@@ -1,0 +1,151 @@
+#include "core/hybrid_scheme.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+// Layout: gamma(width), fat bit, id(width), then
+//   thin: gamma0(deg), deg sorted neighbor identifiers (width each)
+//   fat:  gamma0(k), selector bit,
+//         selector 0 -> k-bit row over fat identifiers
+//         selector 1 -> gamma0(fat_deg), fat_deg sorted fat ids
+//                       (id_width(k) bits each)
+struct Parsed {
+  int width = 0;
+  bool fat = false;
+  std::uint64_t id = 0;
+  BitReader rest;
+};
+
+Parsed parse(const Label& l) {
+  BitReader r = l.reader();
+  Parsed p;
+  p.width = static_cast<int>(r.read_gamma());
+  if (p.width > 32) throw DecodeError("hybrid: absurd id width");
+  p.fat = r.read_bit();
+  p.id = r.read_bits(p.width);
+  p.rest = r;
+  return p;
+}
+
+/// Answers "is fat id `needle` adjacent to this fat label's vertex".
+bool fat_payload_contains(BitReader r, std::uint64_t needle) {
+  const std::uint64_t k = r.read_gamma0();
+  if (needle >= k) throw DecodeError("hybrid: fat id out of range");
+  const bool list_layout = r.read_bit();
+  if (!list_layout) {
+    std::uint64_t skip = needle;
+    while (skip >= 64) {
+      r.read_bits(64);
+      skip -= 64;
+    }
+    if (skip > 0) r.read_bits(static_cast<int>(skip));
+    return r.read_bit();
+  }
+  const int fat_width = id_width(k);
+  const std::uint64_t fat_deg = r.read_gamma0();
+  for (std::uint64_t i = 0; i < fat_deg; ++i) {
+    const std::uint64_t fid = r.read_bits(fat_width);
+    if (fid == needle) return true;
+    if (fid > needle) return false;  // sorted
+  }
+  return false;
+}
+
+}  // namespace
+
+Labeling HybridScheme::encode(const Graph& g) const {
+  if (tau_ < 1) throw EncodeError("HybridScheme: tau must be >= 1");
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+
+  std::vector<std::uint32_t> identifier(n, 0);
+  std::uint32_t next_fat = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) >= tau_) identifier[v] = next_fat++;
+  }
+  const std::uint32_t k = next_fat;
+  std::uint32_t next_thin = k;
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) < tau_) identifier[v] = next_thin++;
+  }
+  const int fat_width = id_width(k);
+
+  std::vector<Label> labels;
+  labels.reserve(n);
+  std::vector<std::uint32_t> ids;
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    const bool fat = g.degree(v) >= tau_;
+    w.write_bit(fat);
+    w.write_bits(identifier[v], width);
+    ids.clear();
+    if (fat) {
+      for (const Vertex nb : g.neighbors(v)) {
+        if (g.degree(nb) >= tau_) ids.push_back(identifier[nb]);
+      }
+      std::sort(ids.begin(), ids.end());
+      w.write_gamma0(k);
+      // Pick the cheaper payload (gamma0 length header included).
+      const std::size_t list_cost =
+          2 * floor_log2(ids.size() + 1) + 1 +
+          ids.size() * static_cast<std::size_t>(fat_width);
+      if (list_cost < k) {
+        w.write_bit(true);  // list layout
+        w.write_gamma0(ids.size());
+        for (const std::uint32_t fid : ids) w.write_bits(fid, fat_width);
+      } else {
+        w.write_bit(false);  // row layout
+        std::vector<std::uint64_t> row(words_for_bits(k), 0);
+        for (const std::uint32_t fid : ids) {
+          row[fid / 64] |= std::uint64_t{1} << (fid % 64);
+        }
+        std::uint64_t remaining = k;
+        for (std::size_t i = 0; remaining > 0; ++i) {
+          const int chunk =
+              static_cast<int>(std::min<std::uint64_t>(64, remaining));
+          w.write_bits(row[i], chunk);
+          remaining -= static_cast<std::uint64_t>(chunk);
+        }
+      }
+    } else {
+      for (const Vertex nb : g.neighbors(v)) ids.push_back(identifier[nb]);
+      std::sort(ids.begin(), ids.end());
+      w.write_gamma0(ids.size());
+      for (const std::uint32_t nb_id : ids) w.write_bits(nb_id, width);
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+bool HybridScheme::adjacent(const Label& a, const Label& b) const {
+  Parsed pa = parse(a);
+  Parsed pb = parse(b);
+  if (pa.width != pb.width) {
+    throw DecodeError("hybrid: labels come from different graphs");
+  }
+  if (pa.id == pb.id) return false;
+
+  if (pa.fat && pb.fat) {
+    return fat_payload_contains(pa.rest, pb.id);
+  }
+  const Parsed& thin = pa.fat ? pb : pa;
+  const std::uint64_t other_id = pa.fat ? pa.id : pb.id;
+  BitReader r = thin.rest;
+  const std::uint64_t deg = r.read_gamma0();
+  for (std::uint64_t i = 0; i < deg; ++i) {
+    const std::uint64_t nb = r.read_bits(thin.width);
+    if (nb == other_id) return true;
+    if (nb > other_id) return false;
+  }
+  return false;
+}
+
+}  // namespace plg

@@ -1,0 +1,34 @@
+// Hybrid fat-payload thin/fat scheme — an ablation of the paper's design
+// choice for fat vertices.
+//
+// Theorem 3/4 store a k-bit row in every fat label. That is worst-case
+// optimal (a fat vertex may neighbor ALL other fat vertices), but real
+// power-law graphs have sparse fat-fat subgraphs: a fat vertex typically
+// touches few of the k hubs. This scheme lets each fat label choose the
+// cheaper of
+//     row:  k bits                      (the paper's layout), or
+//     list: |fat neighbors| * ceil(log2 k) bits (sorted fat ids),
+// signalled by one selector bit. The decoder reads whichever layout the
+// label declares; correctness is unchanged and the max label can only
+// shrink (by at most one bit otherwise). bench_ablation quantifies the
+// win; the asymptotic worst case is identical, so this is engineering on
+// top of the paper, not a different scheme.
+#pragma once
+
+#include "core/labeling.h"
+
+namespace plg {
+
+class HybridScheme final : public AdjacencyScheme {
+ public:
+  explicit HybridScheme(std::uint64_t tau) : tau_(tau) {}
+
+  const char* name() const noexcept override { return "thin-fat(hybrid)"; }
+  Labeling encode(const Graph& g) const override;
+  bool adjacent(const Label& a, const Label& b) const override;
+
+ private:
+  std::uint64_t tau_;
+};
+
+}  // namespace plg

@@ -1,0 +1,17 @@
+#include "core/label.h"
+
+namespace plg {
+
+std::string Label::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(words_.size() * 16 + 2);
+  for (const std::uint64_t w : words_) {
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      out.push_back(kDigits[(w >> (nibble * 4)) & 0xF]);
+    }
+  }
+  return out;
+}
+
+}  // namespace plg

@@ -1,0 +1,46 @@
+// Label: an immutable bit string assigned to one vertex.
+//
+// This is the paper's L(v) in {0,1}^* — decoders receive two Labels and
+// nothing else (Section 2). Size is tracked at bit granularity so that
+// measured label sizes can be compared against the paper's bounds exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bit_stream.h"
+
+namespace plg {
+
+class Label {
+ public:
+  Label() = default;
+
+  /// Takes ownership of a finished BitWriter's buffer.
+  static Label from_writer(BitWriter&& writer) {
+    Label l;
+    l.bits_ = writer.size_bits();
+    l.words_ = std::move(writer).take_words();
+    return l;
+  }
+
+  std::size_t size_bits() const noexcept { return bits_; }
+
+  /// A reader positioned at the start of the bit string.
+  BitReader reader() const noexcept { return {words_.data(), bits_}; }
+
+  /// Hex rendering (low word first) for debugging and golden tests.
+  std::string to_hex() const;
+
+  bool operator==(const Label&) const = default;
+
+  /// Raw storage (for hashing / serialization).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace plg

@@ -1,0 +1,140 @@
+#include "core/label_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/bit_stream.h"
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c474c50;  // "PLGL" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, T value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_at(const std::vector<std::uint8_t>& blob, std::size_t& pos) {
+  if (pos + sizeof(T) > blob.size()) {
+    throw DecodeError("LabelStore: truncated blob");
+  }
+  T value;
+  std::memcpy(&value, blob.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> LabelStore::serialize(const Labeling& labeling) {
+  std::vector<std::uint8_t> out;
+  append(out, kMagic);
+  append(out, kVersion);
+  append(out, static_cast<std::uint64_t>(labeling.size()));
+
+  std::uint64_t offset = 0;
+  append(out, offset);
+  for (const Label& l : labeling.labels()) {
+    offset += l.size_bits();
+    append(out, offset);
+  }
+
+  // Pack all label bits back to back.
+  BitWriter packed;
+  for (const Label& l : labeling.labels()) {
+    BitReader r = l.reader();
+    std::size_t remaining = l.size_bits();
+    while (remaining > 0) {
+      const int chunk =
+          static_cast<int>(std::min<std::size_t>(64, remaining));
+      packed.write_bits(r.read_bits(chunk), chunk);
+      remaining -= static_cast<std::size_t>(chunk);
+    }
+  }
+  for (const std::uint64_t w : packed.words()) append(out, w);
+  return out;
+}
+
+LabelStore LabelStore::parse(std::vector<std::uint8_t> blob) {
+  std::size_t pos = 0;
+  if (read_at<std::uint32_t>(blob, pos) != kMagic) {
+    throw DecodeError("LabelStore: bad magic");
+  }
+  if (read_at<std::uint32_t>(blob, pos) != kVersion) {
+    throw DecodeError("LabelStore: unsupported version");
+  }
+  const auto n = read_at<std::uint64_t>(blob, pos);
+  if (n > (blob.size() / sizeof(std::uint64_t)) + 1) {
+    throw DecodeError("LabelStore: implausible label count");
+  }
+  LabelStore store;
+  store.offsets_.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    store.offsets_[i] = read_at<std::uint64_t>(blob, pos);
+    if (i > 0 && store.offsets_[i] < store.offsets_[i - 1]) {
+      throw DecodeError("LabelStore: non-monotone offsets");
+    }
+  }
+  const std::uint64_t total_bits = store.offsets_.back();
+  const std::size_t words = words_for_bits(total_bits);
+  store.bits_.resize(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    store.bits_[i] = read_at<std::uint64_t>(blob, pos);
+  }
+  return store;
+}
+
+Label LabelStore::get(std::size_t i) const {
+  if (i + 1 >= offsets_.size()) {
+    throw DecodeError("LabelStore: label index out of range");
+  }
+  // O(1) random access: start the reader at the containing word and
+  // discard only the in-word bit offset.
+  const std::uint64_t start = offsets_[i];
+  BitReader r(bits_.data() + start / 64,
+              offsets_.back() - (start / 64) * 64);
+  if (start % 64 != 0) r.read_bits(static_cast<int>(start % 64));
+
+  BitWriter w;
+  std::size_t remaining = offsets_[i + 1] - offsets_[i];
+  while (remaining > 0) {
+    const int chunk = static_cast<int>(std::min<std::size_t>(64, remaining));
+    w.write_bits(r.read_bits(chunk), chunk);
+    remaining -= static_cast<std::size_t>(chunk);
+  }
+  return Label::from_writer(std::move(w));
+}
+
+Labeling LabelStore::load_all() const {
+  std::vector<Label> labels;
+  labels.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) labels.push_back(get(i));
+  return Labeling(std::move(labels));
+}
+
+void LabelStore::save_file(const std::string& path,
+                           const Labeling& labeling) {
+  const auto blob = serialize(labeling);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw EncodeError("LabelStore: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) throw EncodeError("LabelStore: write failed for " + path);
+}
+
+LabelStore LabelStore::open_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DecodeError("LabelStore: cannot open " + path);
+  std::vector<std::uint8_t> blob(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return parse(std::move(blob));
+}
+
+}  // namespace plg

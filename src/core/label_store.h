@@ -1,0 +1,56 @@
+// LabelStore: compact persistence for a whole Labeling.
+//
+// The peer-to-peer story distributes labels to vertices, but any real
+// deployment also needs to ship, cache and reload the label set (the
+// encoder is centralized and one-off). The store serializes a Labeling
+// into one contiguous blob:
+//
+//   magic "PLGL" | version u32 | n u64 | (n+1) u64 bit-offsets | bit data
+//
+// and reads labels back either individually (get) or wholesale (load).
+// The blob is byte-portable between little-endian hosts; all sizes are
+// bit-exact, so stats computed before a round trip equal stats after.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/labeling.h"
+
+namespace plg {
+
+class LabelStore {
+ public:
+  /// Serializes a labeling into a fresh blob.
+  static std::vector<std::uint8_t> serialize(const Labeling& labeling);
+
+  /// Parses a blob (copies it in). Throws DecodeError on malformed input.
+  static LabelStore parse(std::vector<std::uint8_t> blob);
+
+  /// Reads the whole store back into a Labeling.
+  Labeling load_all() const;
+
+  /// Number of labels stored.
+  std::size_t size() const noexcept { return offsets_.size() - 1; }
+
+  /// Materializes label i (bit-exact copy).
+  Label get(std::size_t i) const;
+
+  /// Size in bits of label i, without materializing it.
+  std::size_t size_bits(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  /// File round trip helpers. Throw DecodeError / EncodeError on IO
+  /// failure.
+  static void save_file(const std::string& path, const Labeling& labeling);
+  static LabelStore open_file(const std::string& path);
+
+ private:
+  LabelStore() = default;
+  std::vector<std::uint64_t> offsets_;  // n+1 cumulative bit offsets
+  std::vector<std::uint64_t> bits_;     // packed label bits
+};
+
+}  // namespace plg

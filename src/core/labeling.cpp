@@ -1,0 +1,19 @@
+#include "core/labeling.h"
+
+namespace plg {
+
+LabelingStats Labeling::stats() const {
+  LabelingStats s;
+  s.num_labels = labels_.size();
+  for (const Label& l : labels_) {
+    s.max_bits = std::max(s.max_bits, l.size_bits());
+    s.total_bits += l.size_bits();
+  }
+  s.avg_bits = labels_.empty()
+                   ? 0.0
+                   : static_cast<double>(s.total_bits) /
+                         static_cast<double>(labels_.size());
+  return s;
+}
+
+}  // namespace plg

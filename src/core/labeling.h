@@ -1,0 +1,55 @@
+// Labeling: the encoder's output for a whole graph, plus size statistics.
+//
+// `size(n)` in the paper is the maximum label length over all vertices;
+// LabelingStats records that together with the average/total so that the
+// benches can report both worst-case (the paper's metric) and space cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/label.h"
+#include "graph/graph.h"
+
+namespace plg {
+
+struct LabelingStats {
+  std::size_t max_bits = 0;
+  std::size_t total_bits = 0;
+  double avg_bits = 0.0;
+  std::size_t num_labels = 0;
+};
+
+class Labeling {
+ public:
+  Labeling() = default;
+  explicit Labeling(std::vector<Label> labels) : labels_(std::move(labels)) {}
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  const Label& operator[](Vertex v) const noexcept { return labels_[v]; }
+  const std::vector<Label>& labels() const noexcept { return labels_; }
+
+  LabelingStats stats() const;
+
+ private:
+  std::vector<Label> labels_;
+};
+
+/// Abstract adjacency labeling scheme (encoder + decoder pair, Section 2).
+///
+/// `adjacent` must depend only on the two labels — implementations forward
+/// to their scheme's static decode function and hold no per-graph state.
+class AdjacencyScheme {
+ public:
+  virtual ~AdjacencyScheme() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Assigns a label to every vertex of g.
+  virtual Labeling encode(const Graph& g) const = 0;
+
+  /// The decoder: true iff the two labeled vertices are adjacent.
+  virtual bool adjacent(const Label& a, const Label& b) const = 0;
+};
+
+}  // namespace plg

@@ -1,0 +1,139 @@
+#include "core/one_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+
+namespace {
+
+std::uint64_t edge_key(std::uint64_t a, std::uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return (a << 32) | b;
+}
+
+/// Seeded mixer: splitmix64 over key xor seed is 2-universal enough for
+/// bucket balancing and is exactly reproducible in the decoder.
+std::uint64_t hash_edge(std::uint64_t seed, std::uint64_t key) {
+  std::uint64_t s = seed ^ key;
+  return splitmix64(s);
+}
+
+struct Header {
+  int width = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t n = 0;
+  std::uint64_t id = 0;
+  BitReader rest;
+};
+
+Header parse(const Label& l) {
+  BitReader r = l.reader();
+  const int width = static_cast<int>(r.read_gamma());
+  if (width > 32) throw DecodeError("one-query: absurd id width");
+  const std::uint64_t seed = r.read_bits(64);
+  const std::uint64_t n = r.read_gamma();
+  const std::uint64_t id = r.read_bits(width);
+  return {width, seed, n, id, r};
+}
+
+}  // namespace
+
+Labeling OneQueryScheme::encode(const Graph& g) const {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+  const auto edges = g.edge_list();
+
+  // Pick a seed whose worst bucket is small; expected max load for m = cn
+  // keys in n buckets is O(log n / log log n), and a handful of re-seeds
+  // reliably lands near the mean for practical sizes.
+  const std::size_t target = n == 0
+      ? 0
+      : static_cast<std::size_t>(std::ceil(
+            max_load_factor_ *
+            (2.0 * static_cast<double>(edges.size()) /
+                 static_cast<double>(n) +
+             1.0)));
+  // Seed stream fingerprints the graph (n, m, and an edge digest), so
+  // encodings of different graphs carry distinguishable seeds and the
+  // decoder can reject cross-encoding label mixes.
+  std::uint64_t fingerprint = 0x1badb002dead10ccULL ^ (n * 0x9e37u);
+  for (const Edge& e : edges) {
+    std::uint64_t s = fingerprint ^ edge_key(e.u, e.v);
+    fingerprint = splitmix64(s);
+  }
+  Rng seeder(fingerprint);
+  std::uint64_t seed = 0;
+  std::vector<std::vector<Edge>> buckets(std::max<std::size_t>(n, 1));
+  constexpr int kMaxRounds = 64;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    seed = seeder();
+    for (auto& b : buckets) b.clear();
+    std::size_t worst = 0;
+    for (const Edge& e : edges) {
+      auto& b = buckets[hash_edge(seed, edge_key(e.u, e.v)) % n];
+      b.push_back(e);
+      worst = std::max(worst, b.size());
+    }
+    if (worst <= target || round == kMaxRounds - 1) break;
+  }
+
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(seed, 64);
+    w.write_gamma(std::max<std::uint64_t>(n, 1));
+    w.write_bits(v, width);
+    const auto& tuples = buckets.empty() ? std::vector<Edge>{} : buckets[v];
+    w.write_gamma0(tuples.size());
+    for (const Edge& e : tuples) {
+      w.write_bits(e.u, width);
+      w.write_bits(e.v, width);
+    }
+    labels.push_back(Label::from_writer(std::move(w)));
+  }
+  return Labeling(std::move(labels));
+}
+
+std::uint64_t OneQueryScheme::bucket_of(const Label& a, const Label& b) {
+  const Header ha = parse(a);
+  const Header hb = parse(b);
+  if (ha.width != hb.width || ha.seed != hb.seed || ha.n != hb.n) {
+    throw DecodeError("one-query: labels come from different encodings");
+  }
+  return hash_edge(ha.seed, edge_key(ha.id, hb.id)) % ha.n;
+}
+
+bool OneQueryScheme::adjacent(const Label& a, const Label& b,
+                              const LabelFetch& fetch) {
+  const Header ha = parse(a);
+  const Header hb = parse(b);
+  if (ha.width != hb.width || ha.seed != hb.seed || ha.n != hb.n) {
+    throw DecodeError("one-query: labels come from different encodings");
+  }
+  if (ha.id == hb.id) return false;
+  const std::uint64_t bucket =
+      hash_edge(ha.seed, edge_key(ha.id, hb.id)) % ha.n;
+  Header hc = parse(fetch(bucket));
+  if (hc.seed != ha.seed || hc.width != ha.width) {
+    throw DecodeError("one-query: fetched label from a different encoding");
+  }
+  const std::uint64_t lo = std::min(ha.id, hb.id);
+  const std::uint64_t hi = std::max(ha.id, hb.id);
+  const std::uint64_t count = hc.rest.read_gamma0();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t u = hc.rest.read_bits(hc.width);
+    const std::uint64_t v = hc.rest.read_bits(hc.width);
+    if (u == lo && v == hi) return true;
+  }
+  return false;
+}
+
+}  // namespace plg

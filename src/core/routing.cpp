@@ -1,0 +1,158 @@
+#include "core/routing.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/bit_stream.h"
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+}  // namespace
+
+LandmarkRouter::LandmarkRouter(const Graph& g, std::uint64_t tau) : g_(g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) throw EncodeError("LandmarkRouter: empty graph");
+
+  landmark_rank_.assign(n, kNone);
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) >= tau) {
+      landmark_rank_[v] = static_cast<std::uint32_t>(landmarks_.size());
+      landmarks_.push_back(v);
+    }
+  }
+  if (landmarks_.empty()) {
+    Vertex best = 0;
+    for (Vertex v = 1; v < n; ++v) {
+      if (g.degree(v) > g.degree(best)) best = v;
+    }
+    landmark_rank_[best] = 0;
+    landmarks_.push_back(best);
+  }
+  const std::size_t k = landmarks_.size();
+
+  // One BFS per landmark: parent pointers give next hops toward it, and
+  // the distance fields find each vertex's nearest landmark.
+  next_hop_.assign(n * k, static_cast<Vertex>(-1));
+  nearest_landmark_.assign(n, kNone);
+  nearest_dist_.assign(n, kNone);
+  std::vector<std::uint32_t> dist;
+  for (std::size_t r = 0; r < k; ++r) {
+    const Vertex root = landmarks_[r];
+    dist = bfs_distances(g, root);
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] == kInfDist) continue;
+      if (dist[v] < nearest_dist_[v]) {
+        nearest_dist_[v] = dist[v];
+        nearest_landmark_[v] = static_cast<std::uint32_t>(r);
+      }
+      if (v == root) {
+        next_hop_[static_cast<std::size_t>(v) * k + r] = v;
+        continue;
+      }
+      // Any neighbor one step closer to the root is a valid next hop;
+      // take the smallest id for determinism.
+      for (const Vertex w : g.neighbors(v)) {
+        if (dist[w] + 1 == dist[v]) {
+          next_hop_[static_cast<std::size_t>(v) * k + r] = w;
+          break;
+        }
+      }
+    }
+  }
+
+  // Down-paths and address labels.
+  down_path_.resize(n);
+  addresses_.resize(n);
+  const int width = id_width(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    w.write_gamma(static_cast<std::uint64_t>(width));
+    w.write_bits(v, width);
+    if (nearest_landmark_[v] == kNone) {
+      w.write_bit(false);  // isolated from every landmark
+    } else {
+      w.write_bit(true);
+      const std::uint32_t r = nearest_landmark_[v];
+      // Walk up v's next-hop chain toward its landmark, then reverse.
+      std::vector<Vertex>& path = down_path_[v];
+      Vertex cur = v;
+      path.push_back(cur);
+      while (landmark_rank_[cur] != r) {
+        cur = next_hop_[static_cast<std::size_t>(cur) * k + r];
+        path.push_back(cur);
+      }
+      std::reverse(path.begin(), path.end());  // landmark ... v
+      w.write_gamma0(r);
+      w.write_gamma0(nearest_dist_[v]);
+      w.write_gamma0(path.size());
+      for (const Vertex p : path) w.write_bits(p, width);
+    }
+    addresses_[v] = Label::from_writer(std::move(w));
+  }
+}
+
+std::optional<std::vector<Vertex>> LandmarkRouter::route(Vertex u,
+                                                         Vertex v) const {
+  const std::size_t k = landmarks_.size();
+  std::vector<Vertex> hops{u};
+  if (u == v) return hops;
+  if (nearest_landmark_[v] == kNone || nearest_landmark_[u] == kNone) {
+    // v (or u) sees no landmark; deliverable only if adjacent (a real
+    // system would flood tiny components — out of scope).
+    if (g_.has_edge(u, v)) {
+      hops.push_back(v);
+      return hops;
+    }
+    return std::nullopt;
+  }
+  const std::uint32_t r = nearest_landmark_[v];
+  const auto& path = down_path_[v];
+
+  // Phase 1: climb toward v's landmark; bail out early if the current
+  // node already lies on v's down-path.
+  Vertex cur = u;
+  std::size_t guard = 0;
+  auto on_path = [&](Vertex x) {
+    return std::find(path.begin(), path.end(), x) - path.begin();
+  };
+  std::ptrdiff_t idx = on_path(cur);
+  while (idx == static_cast<std::ptrdiff_t>(path.size())) {
+    const Vertex nh = next_hop_[static_cast<std::size_t>(cur) * k + r];
+    if (nh == static_cast<Vertex>(-1)) return std::nullopt;  // unreachable
+    cur = nh;
+    hops.push_back(cur);
+    idx = on_path(cur);
+    if (++guard > g_.num_vertices()) {
+      throw DecodeError("LandmarkRouter: routing loop (corrupt tables)");
+    }
+  }
+  // Phase 2: descend the explicit path.
+  for (std::size_t i = static_cast<std::size_t>(idx) + 1; i < path.size();
+       ++i) {
+    hops.push_back(path[i]);
+  }
+  return hops;
+}
+
+RoutingStats LandmarkRouter::stats() const {
+  RoutingStats s;
+  s.num_landmarks = landmarks_.size();
+  s.table_bits_per_vertex =
+      landmarks_.size() * static_cast<std::size_t>(id_width(g_.num_vertices()));
+  std::size_t total = 0;
+  for (const Label& l : addresses_) {
+    s.max_address_bits = std::max(s.max_address_bits, l.size_bits());
+    total += l.size_bits();
+  }
+  s.avg_address_bits =
+      addresses_.empty()
+          ? 0.0
+          : static_cast<double>(total) / static_cast<double>(addresses_.size());
+  return s;
+}
+
+}  // namespace plg

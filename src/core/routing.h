@@ -1,0 +1,72 @@
+// Landmark routing on power-law graphs — the application domain of the
+// paper's related work (Brady–Cowen [17], Krioukov et al. [43]: compact
+// routing on power-law / internet-like graphs with additive stretch).
+//
+// The same thin/fat idea, turned into a routing scheme:
+//   * fat vertices (degree >= tau) are LANDMARKS;
+//   * every vertex keeps a routing table with its next hop on a shortest
+//     path toward each landmark (k entries — the routing analogue of the
+//     fat bit-row);
+//   * every vertex's ADDRESS is a short label: its nearest landmark, the
+//     distance to it, and the shortest down-path from that landmark
+//     (power-law graphs have small landmark eccentricity, so the path is
+//     short);
+//   * to route u -> v, forward greedily toward v's landmark using local
+//     tables; any node that finds itself on v's down-path switches to
+//     source-routing down. Total hops <= d(u, L(v)) + d(L(v), v)
+//     <= d(u, v) + 2 d(v, L(v)) — additive stretch 2 d(v, L(v)).
+//
+// This module is a routing *simulation* substrate: tables are per-node
+// local state, addresses are genuine bit-string labels, and route()
+// walks the graph hop by hop exactly as packets would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/label.h"
+#include "graph/graph.h"
+
+namespace plg {
+
+struct RoutingStats {
+  std::size_t num_landmarks = 0;
+  std::size_t table_bits_per_vertex = 0;  ///< k * ceil(log2 n)
+  std::size_t max_address_bits = 0;
+  double avg_address_bits = 0.0;
+};
+
+class LandmarkRouter {
+ public:
+  /// Builds tables and addresses. tau: landmark degree threshold; if no
+  /// vertex qualifies, the single max-degree vertex becomes the landmark.
+  /// Throws EncodeError on an empty graph.
+  LandmarkRouter(const Graph& g, std::uint64_t tau);
+
+  /// Simulates routing a packet from u to v (same component required).
+  /// Returns the vertex sequence [u, ..., v], or nullopt if v is
+  /// unreachable from u.
+  std::optional<std::vector<Vertex>> route(Vertex u, Vertex v) const;
+
+  /// The address label of v (what a packet header carries).
+  const Label& address(Vertex v) const { return addresses_[v]; }
+
+  RoutingStats stats() const;
+
+  std::size_t num_landmarks() const noexcept { return landmarks_.size(); }
+
+ private:
+  const Graph& g_;
+  std::vector<Vertex> landmarks_;               // rank -> vertex
+  std::vector<std::uint32_t> landmark_rank_;    // vertex -> rank or -1
+  // next_hop_[v * k + r]: neighbor of v on a shortest path to landmark r
+  // (v itself for r's landmark == v; -1 when unreachable).
+  std::vector<Vertex> next_hop_;
+  std::vector<std::uint32_t> nearest_landmark_;  // vertex -> rank or -1
+  std::vector<std::uint32_t> nearest_dist_;
+  std::vector<std::vector<Vertex>> down_path_;   // L(v) -> ... -> v
+  std::vector<Label> addresses_;
+};
+
+}  // namespace plg

@@ -1,0 +1,90 @@
+#include "core/schemes.h"
+
+#include <algorithm>
+
+#include "powerlaw/constants.h"
+#include "powerlaw/fit.h"
+#include "powerlaw/threshold.h"
+#include "util/errors.h"
+
+namespace plg {
+
+SparseScheme::SparseScheme(std::optional<double> c) : c_(c) {
+  if (c_ && *c_ <= 0.0) {
+    throw EncodeError("SparseScheme: c must be positive");
+  }
+}
+
+std::uint64_t SparseScheme::threshold_for(std::uint64_t n, double c) const {
+  return tau_sparse(n, c);
+}
+
+ThinFatEncoding SparseScheme::encode_full(const Graph& g) const {
+  const double c = c_ ? *c_ : std::max(1.0, g.sparsity());
+  if (!g.is_sparse(c)) {
+    throw EncodeError("SparseScheme: graph exceeds declared sparsity c");
+  }
+  return thin_fat_encode(g, tau_sparse(g.num_vertices(), c));
+}
+
+PowerLawScheme::PowerLawScheme(double alpha, std::optional<double> c_prime)
+    : alpha_(alpha), c_prime_(c_prime) {
+  if (alpha <= 1.0) {
+    throw EncodeError("PowerLawScheme: alpha must be > 1");
+  }
+  if (c_prime_ && *c_prime_ <= 0.0) {
+    throw EncodeError("PowerLawScheme: c_prime must be positive");
+  }
+}
+
+PowerLawScheme::PowerLawScheme(std::optional<double> c_prime)
+    : c_prime_(c_prime) {
+  if (c_prime_ && *c_prime_ <= 0.0) {
+    throw EncodeError("PowerLawScheme: c_prime must be positive");
+  }
+}
+
+double PowerLawScheme::alpha_for(const Graph& g) const {
+  if (alpha_) return *alpha_;
+  return fit_power_law(g).alpha;
+}
+
+double PowerLawScheme::c_prime_for(std::uint64_t n, double alpha) const {
+  return c_prime_ ? *c_prime_ : pl_Cprime(n, alpha);
+}
+
+ThinFatEncoding PowerLawScheme::encode_full(const Graph& g) const {
+  const double alpha = alpha_for(g);
+  const std::uint64_t n = g.num_vertices();
+  return thin_fat_encode(g, tau_power_law(n, alpha, c_prime_for(n, alpha)));
+}
+
+ExpectedDegreeScheme::ExpectedDegreeScheme(
+    std::vector<double> expected_degrees, double alpha,
+    std::optional<double> c_prime)
+    : expected_degrees_(std::move(expected_degrees)),
+      alpha_(alpha),
+      c_prime_(c_prime) {
+  if (alpha <= 1.0) {
+    throw EncodeError("ExpectedDegreeScheme: alpha must be > 1");
+  }
+}
+
+ThinFatEncoding ExpectedDegreeScheme::encode_full(const Graph& g) const {
+  const std::uint64_t n = g.num_vertices();
+  if (expected_degrees_.size() != n) {
+    throw EncodeError(
+        "ExpectedDegreeScheme: expected-degree vector size mismatch");
+  }
+  const double cp = c_prime_ ? *c_prime_ : pl_Cprime(n, alpha_);
+  const std::uint64_t tau = tau_power_law(n, alpha_, cp);
+  std::vector<bool> fat_mask(n);
+  for (Vertex v = 0; v < n; ++v) {
+    fat_mask[v] = expected_degrees_[v] >= static_cast<double>(tau);
+  }
+  ThinFatEncoding out = thin_fat_encode_partition(g, fat_mask);
+  out.threshold = tau;
+  return out;
+}
+
+}  // namespace plg

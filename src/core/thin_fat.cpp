@@ -1,0 +1,221 @@
+#include "core/thin_fat.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/bits.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+struct ParsedLabel {
+  int width;
+  bool fat;
+  std::uint64_t id;
+  BitReader rest;  // positioned at the payload
+};
+
+ParsedLabel parse(const Label& l) {
+  BitReader r = l.reader();
+  const std::uint64_t width64 = r.read_gamma();
+  if (width64 > 32) throw DecodeError("thin_fat: absurd id width");
+  const int width = static_cast<int>(width64);
+  const bool fat = r.read_bit();
+  const std::uint64_t id = r.read_bits(width);
+  return {width, fat, id, r};
+}
+
+}  // namespace
+
+namespace {
+
+/// Builds one vertex's label. `sorted_ids` is caller-provided scratch so
+/// hot loops stay allocation-free.
+Label encode_vertex(const Graph& g, Vertex v,
+                    const std::vector<bool>& fat_mask,
+                    const std::vector<std::uint32_t>& identifier,
+                    std::uint32_t k, int width,
+                    std::vector<std::uint32_t>& sorted_ids) {
+  BitWriter w;
+  w.write_gamma(static_cast<std::uint64_t>(width));
+  const bool fat = fat_mask[v];
+  w.write_bit(fat);
+  w.write_bits(identifier[v], width);
+  if (fat) {
+    w.write_gamma0(k);
+    // Row over fat identifiers: bit i == adjacent to fat id i.
+    std::vector<std::uint64_t> row(words_for_bits(k), 0);
+    for (const Vertex nb : g.neighbors(v)) {
+      if (fat_mask[nb]) {
+        const std::uint32_t fid = identifier[nb];
+        row[fid / 64] |= std::uint64_t{1} << (fid % 64);
+      }
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const int chunk = static_cast<int>(
+          std::min<std::uint64_t>(64, k - static_cast<std::uint64_t>(i) * 64));
+      w.write_bits(row[i], chunk);
+    }
+  } else {
+    const auto nbs = g.neighbors(v);
+    w.write_gamma0(nbs.size());
+    sorted_ids.clear();
+    for (const Vertex nb : nbs) sorted_ids.push_back(identifier[nb]);
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    for (const std::uint32_t nb_id : sorted_ids) {
+      w.write_bits(nb_id, width);
+    }
+  }
+  return Label::from_writer(std::move(w));
+}
+
+ThinFatEncoding encode_with_mask(const Graph& g,
+                                 const std::vector<bool>& fat_mask) {
+  const std::size_t n = g.num_vertices();
+  const int width = id_width(n);
+
+  ThinFatEncoding out;
+  out.identifier.assign(n, 0);
+
+  // Identifier assignment: fat vertices first (0..k-1), then thin.
+  std::uint32_t next_fat = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (fat_mask[v]) out.identifier[v] = next_fat++;
+  }
+  const std::uint32_t k = next_fat;
+  out.num_fat = k;
+  out.num_thin = n - k;
+  std::uint32_t next_thin = k;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!fat_mask[v]) out.identifier[v] = next_thin++;
+  }
+
+  std::vector<Label> labels(n);
+  std::vector<std::uint32_t> sorted_ids;
+  for (Vertex v = 0; v < n; ++v) {
+    labels[v] = encode_vertex(g, v, fat_mask, out.identifier, k, width,
+                              sorted_ids);
+  }
+  out.labeling = Labeling(std::move(labels));
+  return out;
+}
+
+}  // namespace
+
+ThinFatEncoding thin_fat_encode(const Graph& g, std::uint64_t tau) {
+  if (tau < 1) throw EncodeError("thin_fat_encode: tau must be >= 1");
+  std::vector<bool> fat_mask(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    fat_mask[v] = g.degree(v) >= tau;
+  }
+  ThinFatEncoding out = encode_with_mask(g, fat_mask);
+  out.threshold = tau;
+  return out;
+}
+
+ThinFatEncoding thin_fat_encode_parallel(const Graph& g, std::uint64_t tau,
+                                         unsigned threads) {
+  if (tau < 1) throw EncodeError("thin_fat_encode_parallel: tau must be >= 1");
+  const std::size_t n = g.num_vertices();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Partition/identifier assignment is a cheap serial prefix pass; the
+  // per-vertex label construction is the parallel part.
+  std::vector<bool> fat_mask(n);
+  for (Vertex v = 0; v < n; ++v) fat_mask[v] = g.degree(v) >= tau;
+
+  ThinFatEncoding out;
+  out.threshold = tau;
+  out.identifier.assign(n, 0);
+  std::uint32_t next_fat = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (fat_mask[v]) out.identifier[v] = next_fat++;
+  }
+  const std::uint32_t k = next_fat;
+  out.num_fat = k;
+  out.num_thin = n - k;
+  std::uint32_t next_thin = k;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!fat_mask[v]) out.identifier[v] = next_thin++;
+  }
+  const int width = id_width(n);
+
+  std::vector<Label> labels(n);
+  std::vector<std::thread> workers;
+  const std::size_t chunk = (n + threads - 1) / std::max<std::size_t>(threads, 1);
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + chunk);
+    workers.emplace_back([&, begin, end] {
+      std::vector<std::uint32_t> scratch;
+      for (std::size_t v = begin; v < end; ++v) {
+        labels[v] = encode_vertex(g, static_cast<Vertex>(v), fat_mask,
+                                  out.identifier, k, width, scratch);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  out.labeling = Labeling(std::move(labels));
+  return out;
+}
+
+ThinFatEncoding thin_fat_encode_partition(const Graph& g,
+                                          const std::vector<bool>& fat_mask) {
+  if (fat_mask.size() != g.num_vertices()) {
+    throw EncodeError("thin_fat_encode_partition: mask size mismatch");
+  }
+  return encode_with_mask(g, fat_mask);
+}
+
+ThinFatLabelView thin_fat_parse_header(const Label& l) {
+  ParsedLabel p = parse(l);
+  ThinFatLabelView view;
+  view.width = p.width;
+  view.fat = p.fat;
+  view.id = p.id;
+  view.degree_or_k = p.rest.read_gamma0();
+  return view;
+}
+
+bool thin_fat_adjacent(const Label& a, const Label& b) {
+  ParsedLabel pa = parse(a);
+  ParsedLabel pb = parse(b);
+  if (pa.width != pb.width) {
+    throw DecodeError("thin_fat: labels come from different graphs");
+  }
+  if (pa.id == pb.id) return false;  // same vertex
+
+  // Both fat: one bit of either row answers the query.
+  if (pa.fat && pb.fat) {
+    const std::uint64_t k = pa.rest.read_gamma0();
+    if (pb.id >= k) throw DecodeError("thin_fat: fat id out of row range");
+    // Skip to the pb.id-th bit of the row.
+    std::uint64_t skip = pb.id;
+    while (skip >= 64) {
+      pa.rest.read_bits(64);
+      skip -= 64;
+    }
+    if (skip > 0) pa.rest.read_bits(static_cast<int>(skip));
+    return pa.rest.read_bit();
+  }
+
+  // At least one endpoint is thin: search its sorted neighbor list for the
+  // other identifier. (Binary search is possible; linear scan keeps the
+  // decoder allocation-free and is O(tau) = o(label size) anyway.)
+  const ParsedLabel* thin = pa.fat ? &pb : &pa;
+  const std::uint64_t other_id = pa.fat ? pa.id : pb.id;
+  BitReader r = thin->rest;
+  const std::uint64_t deg = r.read_gamma0();
+  for (std::uint64_t i = 0; i < deg; ++i) {
+    const std::uint64_t nb = r.read_bits(thin->width);
+    if (nb == other_id) return true;
+    if (nb > other_id) return false;  // list is sorted
+  }
+  return false;
+}
+
+}  // namespace plg

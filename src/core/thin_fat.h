@@ -1,0 +1,94 @@
+// The thin/fat threshold scheme — the paper's primary contribution
+// (Theorems 3 and 4 share this engine; they differ only in tau).
+//
+// Encoder (given threshold tau):
+//   * vertices of degree >= tau are "fat" (there are k of them) and get
+//     identifiers 0..k-1; thin vertices get identifiers k..n-1;
+//   * every label is  [gamma(width)] [fat? 1 bit] [id: width bits] payload,
+//     width = ceil(log2 n);
+//   * thin payload:  gamma(deg+1) then deg sorted neighbor identifiers
+//     (width bits each) — thin vertices store ALL their neighbors;
+//   * fat payload:   gamma(k+1) then a k-bit row whose i-th bit says
+//     "adjacent to the fat vertex with identifier i" — fat vertices store
+//     adjacency only among fat vertices (Figure 1b).
+//
+// Decoder (two labels only): if either endpoint is thin, search its
+// neighbor list for the other identifier; if both are fat, test one bit of
+// either row. The gamma-coded width header makes labels self-delimiting,
+// costing O(log log n) extra bits — inside the theorems' "+ 2 log n + 1".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/labeling.h"
+#include "graph/graph.h"
+
+namespace plg {
+
+/// Outcome of an encode, with the partition metadata benches report.
+struct ThinFatEncoding {
+  Labeling labeling;
+  std::uint64_t threshold = 0;   ///< tau actually used
+  std::size_t num_fat = 0;       ///< k
+  std::size_t num_thin = 0;
+  /// identifier assigned to each vertex (fat: 0..k-1, thin: k..n-1)
+  std::vector<std::uint32_t> identifier;
+};
+
+/// Encodes g with an explicit degree threshold tau >= 1.
+ThinFatEncoding thin_fat_encode(const Graph& g, std::uint64_t tau);
+
+/// Encodes g with an explicit fat/thin partition (fat_mask[v] == true
+/// means v is fat). The decoder is partition-agnostic — correctness holds
+/// for ANY partition; only the label sizes depend on choosing it well.
+/// This powers the "incomplete knowledge" variant (Section 8.1 future
+/// work #2): classify by *expected* degree (e.g. Chung–Lu weights or a
+/// degree-frequency model) without seeing realized degrees.
+/// The reported `threshold` field is 0 for partition-based encodings.
+ThinFatEncoding thin_fat_encode_partition(const Graph& g,
+                                          const std::vector<bool>& fat_mask);
+
+/// Multi-threaded encode: labels are per-vertex independent, so the
+/// vertex range is sharded across `threads` workers (0 = hardware
+/// concurrency). Output is BIT-IDENTICAL to thin_fat_encode — verified
+/// by test — so callers can switch freely; encode throughput scales
+/// near-linearly until memory bandwidth binds.
+ThinFatEncoding thin_fat_encode_parallel(const Graph& g, std::uint64_t tau,
+                                         unsigned threads = 0);
+
+/// The decoder. Throws DecodeError on malformed/truncated labels or on
+/// labels from graphs of different vertex-count widths.
+bool thin_fat_adjacent(const Label& a, const Label& b);
+
+/// Parsed view of a thin/fat label (exposed for tests and the benches'
+/// label anatomy reports).
+struct ThinFatLabelView {
+  int width = 0;
+  bool fat = false;
+  std::uint64_t id = 0;
+  std::uint64_t degree_or_k = 0;  ///< thin: degree; fat: k
+};
+ThinFatLabelView thin_fat_parse_header(const Label& l);
+
+/// AdjacencyScheme facade with a fixed threshold rule. Used directly in
+/// threshold-sweep experiments; the Theorem 3/4 wrappers live in
+/// core/schemes.h.
+class FixedThresholdScheme final : public AdjacencyScheme {
+ public:
+  explicit FixedThresholdScheme(std::uint64_t tau) : tau_(tau) {}
+
+  const char* name() const noexcept override { return "thin-fat(fixed)"; }
+  Labeling encode(const Graph& g) const override {
+    return thin_fat_encode(g, tau_).labeling;
+  }
+  bool adjacent(const Label& a, const Label& b) const override {
+    return thin_fat_adjacent(a, b);
+  }
+
+ private:
+  std::uint64_t tau_;
+};
+
+}  // namespace plg

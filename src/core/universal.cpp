@@ -1,0 +1,89 @@
+#include "core/universal.h"
+
+#include <map>
+#include <string>
+
+#include "util/errors.h"
+
+namespace plg {
+
+UniversalGraph build_universal(const AdjacencyScheme& scheme,
+                               std::span<const Graph> graphs) {
+  UniversalGraph u;
+  std::map<std::string, std::size_t> index;  // label bytes -> node id
+  for (const Graph& g : graphs) {
+    const Labeling labeling = scheme.encode(g);
+    for (const Label& l : labeling.labels()) {
+      const std::string key = l.to_hex() + ":" + std::to_string(l.size_bits());
+      if (!index.contains(key)) {
+        index.emplace(key, u.vertices.size());
+        u.vertices.push_back(l);
+      }
+    }
+  }
+  const std::size_t n = u.vertices.size();
+  u.adjacency.assign(n * n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      bool adj = false;
+      try {
+        adj = scheme.adjacent(u.vertices[i], u.vertices[j]);
+      } catch (const DecodeError&) {
+        // Labels from graphs of incompatible sizes: not adjacent in U.
+        adj = false;
+      }
+      u.adjacency[i * n + j] = adj;
+    }
+  }
+  return u;
+}
+
+bool embeds_induced(const AdjacencyScheme& scheme, const Graph& g,
+                    const UniversalGraph& u) {
+  const Labeling labeling = scheme.encode(g);
+  // Map each vertex to its node in u.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < u.vertices.size(); ++i) {
+    const Label& l = u.vertices[i];
+    index.emplace(l.to_hex() + ":" + std::to_string(l.size_bits()), i);
+  }
+  std::vector<std::size_t> node(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Label& l = labeling[v];
+    const auto it = index.find(l.to_hex() + ":" +
+                               std::to_string(l.size_bits()));
+    if (it == index.end()) return false;
+    node[v] = it->second;
+  }
+  for (Vertex a = 0; a < g.num_vertices(); ++a) {
+    for (Vertex b = static_cast<Vertex>(a + 1); b < g.num_vertices(); ++b) {
+      if (u.adjacent(node[a], node[b]) != g.has_edge(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Graph> enumerate_graphs(std::size_t n, std::size_t max_edges) {
+  if (n > 6) throw EncodeError("enumerate_graphs: n > 6 is too many graphs");
+  std::vector<std::pair<Vertex, Vertex>> slots;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = static_cast<Vertex>(u + 1); v < n; ++v) {
+      slots.emplace_back(u, v);
+    }
+  }
+  std::vector<Graph> out;
+  const std::uint64_t total = std::uint64_t{1} << slots.size();
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    const auto edges = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (edges > max_edges) continue;
+    GraphBuilder b(n);
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if ((mask >> s) & 1) b.add_edge(slots[s].first, slots[s].second);
+    }
+    out.push_back(b.build());
+  }
+  return out;
+}
+
+}  // namespace plg

@@ -1,0 +1,49 @@
+// Induced-universal graphs from labeling schemes (Kannan–Naor–Rudich,
+// reference [36] of the paper; used for the Section 5 connection).
+//
+// An f(n)-bit adjacency labeling scheme for a family F_n induces a
+// universal graph on (at most) 2^{f(n)} vertices: nodes are label values,
+// adjacency decided by the decoder. Here we materialize the *reachable*
+// part — the distinct labels the encoder actually emits over a supplied
+// collection of graphs — and verify every source graph embeds induced.
+// This is exercised at small n in tests; it is a certificate that the
+// scheme really is a labeling scheme in the Section 2 sense (decoding
+// depends on label values only).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/labeling.h"
+#include "graph/graph.h"
+
+namespace plg {
+
+struct UniversalGraph {
+  /// Distinct labels = the universal graph's vertices.
+  std::vector<Label> vertices;
+  /// Adjacency matrix over `vertices` (row-major, n^2 bools).
+  std::vector<bool> adjacency;
+
+  bool adjacent(std::size_t i, std::size_t j) const noexcept {
+    return adjacency[i * vertices.size() + j];
+  }
+};
+
+/// Builds the reachable universal graph for `scheme` over `graphs`.
+UniversalGraph build_universal(const AdjacencyScheme& scheme,
+                               std::span<const Graph> graphs);
+
+/// True iff g embeds in u as an induced subgraph via the label map
+/// (that is: encoding g and mapping each vertex to its label's node in u
+/// preserves adjacency AND non-adjacency).
+bool embeds_induced(const AdjacencyScheme& scheme, const Graph& g,
+                    const UniversalGraph& u);
+
+/// Enumerates every simple graph on exactly n vertices (n <= 6 or the
+/// count explodes), optionally keeping only graphs with at most max_edges
+/// edges (pass SIZE_MAX for all).
+std::vector<Graph> enumerate_graphs(std::size_t n, std::size_t max_edges);
+
+}  // namespace plg

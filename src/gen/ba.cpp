@@ -1,0 +1,58 @@
+#include "gen/ba.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace plg {
+
+BaGraph generate_ba(std::size_t n, std::size_t m, Rng& rng) {
+  if (m < 1) throw EncodeError("generate_ba: m must be >= 1");
+  const std::size_t seed_size = m + 1;
+  if (n < seed_size) {
+    throw EncodeError("generate_ba: need n >= m + 1");
+  }
+
+  BaGraph result;
+  result.m = m;
+  result.insertion_targets.resize(n);
+
+  GraphBuilder builder(n);
+  // Endpoint multiset: vertex v appears deg(v) times; sampling uniformly
+  // from it realizes degree-proportional attachment.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2 * m * n);
+
+  // Seed clique on vertices 0..m.
+  for (Vertex u = 0; u < seed_size; ++u) {
+    for (Vertex v = u + 1; v < seed_size; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<Vertex> chosen;
+  for (Vertex v = static_cast<Vertex>(seed_size); v < n; ++v) {
+    chosen.clear();
+    // Draw m distinct targets by rejection; duplicates are rare because
+    // no vertex holds a large fraction of the endpoint mass.
+    while (chosen.size() < m) {
+      const Vertex t = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (const Vertex t : chosen) {
+      builder.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+    result.insertion_targets[v] = chosen;
+  }
+
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace plg

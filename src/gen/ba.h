@@ -1,0 +1,34 @@
+// Barabási–Albert preferential-attachment generator (Section 6, "BA
+// model"). Grows a graph one vertex per step; each new vertex attaches to
+// m existing vertices chosen with probability proportional to degree.
+//
+// The generator keeps the per-vertex insertion lists (the m endpoints each
+// vertex chose when it arrived) because the paper's online variant of
+// Proposition 5 labels each vertex with exactly that list, giving
+// m*log n + O(log n) bit labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+struct BaGraph {
+  Graph graph;
+  std::size_t m = 0;
+  /// insertion_targets[v] = the endpoints v attached to when inserted;
+  /// empty for the seed vertices (they predate the growth process).
+  std::vector<std::vector<Vertex>> insertion_targets;
+};
+
+/// Generates an n-vertex BA graph with attachment parameter m >= 1.
+/// The seed is a clique on m+1 vertices (so every vertex has degree >= m
+/// and preferential attachment is well defined from the first step).
+/// Uses the Batagelj–Brandes repeated-endpoints method: O(n m) expected.
+/// Throws EncodeError if n < m + 1.
+BaGraph generate_ba(std::size_t n, std::size_t m, Rng& rng);
+
+}  // namespace plg

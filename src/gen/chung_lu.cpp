@@ -1,0 +1,86 @@
+#include "gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/errors.h"
+
+namespace plg {
+
+std::vector<double> power_law_weights(std::size_t n, double alpha,
+                                      double avg_degree) {
+  if (alpha <= 2.0) {
+    throw EncodeError(
+        "power_law_weights: alpha must be > 2 for finite mean degree");
+  }
+  if (n == 0) return {};
+  // w_v proportional to (v + v0)^{-1/(alpha-1)}; v0 softens the head so
+  // that the weight tail has exponent alpha. Scale to hit avg_degree.
+  const double exponent = -1.0 / (alpha - 1.0);
+  std::vector<double> w(n);
+  const double v0 = 1.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    w[v] = std::pow(static_cast<double>(v) + v0, exponent);
+  }
+  const double mean =
+      std::accumulate(w.begin(), w.end(), 0.0) / static_cast<double>(n);
+  const double scale = avg_degree / mean;
+  for (auto& x : w) x *= scale;
+
+  // Enforce the admissibility cap w_max <= sqrt(W). Capping changes the
+  // head slightly but preserves the tail exponent, which is what the
+  // P_h-style analyses depend on.
+  const double W = std::accumulate(w.begin(), w.end(), 0.0);
+  const double cap = std::sqrt(W);
+  for (auto& x : w) x = std::min(x, cap);
+  return w;  // already descending: weights decrease in v
+}
+
+Graph chung_lu(const std::vector<double>& weights, Rng& rng) {
+  const std::size_t n = weights.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (weights[i] > weights[i - 1]) {
+      throw EncodeError("chung_lu: weights must be non-increasing");
+    }
+  }
+  const double W = std::accumulate(weights.begin(), weights.end(), 0.0);
+  GraphBuilder builder(n);
+  if (W <= 0.0) return builder.build();
+
+  // Miller–Hagberg: for each u, walk candidate partners v > u with
+  // geometric skips sized by an upper bound q = min(1, w_u w_v / W) that
+  // only decreases as v grows, accepting with ratio p/q.
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    std::size_t v = u + 1;
+    double p = std::min(1.0, weights[u] * weights[v] / W);
+    while (v < n && p > 0.0) {
+      if (p != 1.0) {
+        const double r = rng.next_double();
+        // Skip ahead geometric(p) candidates; clamp before the integer
+        // cast (tiny p can push the ratio past the loop's remaining
+        // range, and casting an oversized double is undefined).
+        const double skip = std::log(1.0 - r) / std::log(1.0 - p);
+        v += static_cast<std::size_t>(
+            std::min(skip, static_cast<double>(n)));
+      }
+      if (v < n) {
+        const double q = std::min(1.0, weights[u] * weights[v] / W);
+        if (rng.next_double() < q / p) {
+          builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+        }
+        p = q;
+        ++v;
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph chung_lu_power_law(std::size_t n, double alpha, double avg_degree,
+                         Rng& rng) {
+  const auto w = power_law_weights(n, alpha, avg_degree);
+  return chung_lu(w, rng);
+}
+
+}  // namespace plg

@@ -1,0 +1,35 @@
+// Chung–Lu random graphs with expected power-law degrees (reference [23]
+// of the paper, Chapter 3). Vertex v gets weight w_v; edge (u, v) exists
+// independently with probability min(1, w_u w_v / W), W = sum of weights.
+//
+// With weights w_v = c * (v + v0)^{-1/(alpha-1)} the expected degree
+// sequence follows a power law with exponent alpha. This is the model the
+// paper's Theorem 5 covers (degree sequence power-law distributed), and
+// the workhorse generator of the benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+/// Power-law weights for chung_lu(): expected exponent `alpha`, expected
+/// average degree `avg_degree`. Weights are returned sorted descending.
+/// Weights are capped at sqrt(W) so that w_u * w_v / W <= 1 stays a
+/// probability (the standard Chung–Lu admissibility condition).
+std::vector<double> power_law_weights(std::size_t n, double alpha,
+                                      double avg_degree);
+
+/// Samples a Chung–Lu graph for the given weights in O(n + m) expected
+/// time (Miller–Hagberg skipping over sorted weights).
+/// Requires weights sorted in non-increasing order.
+Graph chung_lu(const std::vector<double>& weights, Rng& rng);
+
+/// Convenience: power-law Chung–Lu graph.
+Graph chung_lu_power_law(std::size_t n, double alpha, double avg_degree,
+                         Rng& rng);
+
+}  // namespace plg

@@ -1,0 +1,62 @@
+#include "gen/config_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace plg {
+
+Graph configuration_model(std::span<const std::uint64_t> degrees, Rng& rng) {
+  const std::size_t n = degrees.size();
+  std::vector<Vertex> stubs;
+  std::uint64_t total = 0;
+  for (const auto d : degrees) total += d;
+  stubs.reserve(total);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  shuffle(stubs.begin(), stubs.end(), rng);
+
+  GraphBuilder builder(n);
+  // Pair consecutive stubs; builder normalization erases loops/multi-edges.
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    builder.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return builder.build();
+}
+
+std::vector<std::uint64_t> sample_zeta_degrees(std::size_t n, double alpha,
+                                               std::uint64_t max_degree,
+                                               Rng& rng) {
+  if (max_degree == 0) {
+    max_degree = n > 0 ? static_cast<std::uint64_t>(n - 1) : 0;
+  }
+  // Inverse-CDF sampling over the truncated zeta pmf. The CDF table has
+  // max_degree entries; heavy truncation keeps it small, and for the
+  // untruncated case the tail beyond ~n^{1/alpha} is hit with negligible
+  // probability anyway.
+  const std::uint64_t kMax = std::min<std::uint64_t>(
+      max_degree, 1u << 22);  // table-size guard
+  std::vector<double> cdf(kMax);
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= kMax; ++k) {
+    acc += std::pow(static_cast<double>(k), -alpha);
+    cdf[k - 1] = acc;
+  }
+  const double z = acc;
+  std::vector<std::uint64_t> degrees(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.next_double() * z;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    degrees[i] = static_cast<std::uint64_t>(it - cdf.begin()) + 1;
+  }
+  return degrees;
+}
+
+Graph config_model_power_law(std::size_t n, double alpha, Rng& rng) {
+  const auto degrees = sample_zeta_degrees(n, alpha, 0, rng);
+  return configuration_model(degrees, rng);
+}
+
+}  // namespace plg

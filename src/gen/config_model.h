@@ -1,0 +1,30 @@
+// Erased configuration model: realizes a target degree sequence by uniform
+// stub matching, then erases self-loops and parallel edges. Degrees are
+// approximate (slightly below target where erasure bites), but the degree
+// *distribution* shape — all the paper's machinery needs — is preserved.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+/// Stub-matching realization of `degrees` (sum may be odd; one stub is
+/// then dropped). O(sum degrees).
+Graph configuration_model(std::span<const std::uint64_t> degrees, Rng& rng);
+
+/// Samples n i.i.d. degrees from the zeta distribution
+/// P[D = k] = k^{-alpha} / zeta(alpha), truncated to k <= max_degree
+/// (pass 0 for no truncation beyond n-1).
+std::vector<std::uint64_t> sample_zeta_degrees(std::size_t n, double alpha,
+                                               std::uint64_t max_degree,
+                                               Rng& rng);
+
+/// Convenience: power-law configuration-model graph.
+Graph config_model_power_law(std::size_t n, double alpha, Rng& rng);
+
+}  // namespace plg

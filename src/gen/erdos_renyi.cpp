@@ -1,0 +1,28 @@
+#include "gen/erdos_renyi.h"
+
+#include <unordered_set>
+
+namespace plg {
+
+Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  GraphBuilder builder(n);
+  if (n < 2) return builder.build();
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) m = max_edges;
+
+  // Rejection sampling over edge keys; fine while m << n^2 (our regime).
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    if (seen.insert(key).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace plg

@@ -1,0 +1,16 @@
+// Erdős–Rényi G(n, m): a uniform m-edge graph. Used as the non-power-law
+// control in benchmarks and as a generic sparse-graph workload for the
+// Theorem 3 scheme.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+/// Uniform simple graph with exactly min(m, n(n-1)/2) edges.
+Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+}  // namespace plg

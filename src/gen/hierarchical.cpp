@@ -1,0 +1,34 @@
+#include "gen/hierarchical.h"
+
+#include "gen/waxman.h"
+
+namespace plg {
+
+Graph hierarchical(const HierarchicalParams& params, Rng& rng) {
+  const std::size_t n = params.domains * params.leaf_size;
+  GraphBuilder builder(n);
+
+  // Top level: Waxman over domain ids.
+  const Graph top = waxman(params.domains, params.top_beta, params.waxman_a,
+                           rng);
+  // Leaves: one Waxman subgraph per domain, vertices offset into [0, n).
+  for (std::size_t d = 0; d < params.domains; ++d) {
+    const Graph leaf =
+        waxman(params.leaf_size, params.leaf_beta, params.waxman_a, rng);
+    const auto base = static_cast<Vertex>(d * params.leaf_size);
+    for (const Edge& e : leaf.edge_list()) {
+      builder.add_edge(base + e.u, base + e.v);
+    }
+  }
+  // Inter-domain edges through random representatives.
+  for (const Edge& e : top.edge_list()) {
+    const auto u = static_cast<Vertex>(
+        e.u * params.leaf_size + rng.next_below(params.leaf_size));
+    const auto v = static_cast<Vertex>(
+        e.v * params.leaf_size + rng.next_below(params.leaf_size));
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace plg

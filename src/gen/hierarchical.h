@@ -1,0 +1,35 @@
+// N-level hierarchical topology generator (Calvert–Doar–Zegura, reference
+// [19] of the paper). Section 6 remarks that unlike the BA model, Waxman
+// and N-level hierarchical graphs "do not seem to have an obvious smaller
+// label size" than the sparse lower bound — bench_models quantifies that
+// remark by labeling graphs from all the generative models side by side.
+//
+// Construction (the classic transit-stub flavor, simplified to two
+// knobs): a top-level Waxman graph on `domains` vertices; each top-level
+// vertex expands into a Waxman subgraph of `leaf_size` vertices; each
+// top-level edge becomes an edge between random representatives of the
+// two expanded subgraphs. Recursing once more is possible but two levels
+// already produce the locality structure the model is known for.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+struct HierarchicalParams {
+  std::size_t domains = 16;      ///< top-level vertex count
+  std::size_t leaf_size = 64;    ///< vertices per expanded domain
+  double top_beta = 0.6;         ///< Waxman beta at the top level
+  double leaf_beta = 0.25;       ///< Waxman beta inside domains
+  double waxman_a = 0.3;         ///< Waxman distance scale (both levels)
+};
+
+/// n = domains * leaf_size vertices. Connected-ness is not guaranteed
+/// (matching the underlying Waxman components); callers needing one
+/// component should take the largest.
+Graph hierarchical(const HierarchicalParams& params, Rng& rng);
+
+}  // namespace plg

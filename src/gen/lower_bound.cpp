@@ -1,0 +1,230 @@
+#include "gen/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "powerlaw/constants.h"
+#include "util/errors.h"
+
+namespace plg {
+
+namespace {
+
+std::uint64_t edge_key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+LowerBoundInstance embed_in_pl(const Graph& h, std::uint64_t n,
+                               double alpha) {
+  if (alpha <= 2.0) {
+    throw EncodeError("embed_in_pl: construction requires alpha > 2");
+  }
+  const double C = pl_C(alpha);
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  if (h.num_vertices() != i1) {
+    throw EncodeError("embed_in_pl: H must have exactly i1(n, alpha) = " +
+                      std::to_string(i1) + " vertices");
+  }
+
+  // --- Bucket layout (Section 5): target degree per vertex. -------------
+  const auto v1_size =
+      static_cast<std::int64_t>(std::floor(C * static_cast<double>(n))) -
+      static_cast<std::int64_t>(i1);
+  if (v1_size <= 0 || n < 64) {
+    throw EncodeError("embed_in_pl: n too small for this alpha");
+  }
+
+  std::vector<std::uint64_t> target(n, 0);
+  std::uint64_t next_id = 0;
+  const auto v1_begin = next_id;
+  for (std::int64_t i = 0; i < v1_size; ++i) target[next_id++] = 1;
+  const auto v1_end = next_id;
+
+  for (std::uint64_t i = 2; i < i1; ++i) {
+    const auto size = static_cast<std::uint64_t>(
+        std::floor(C * static_cast<double>(n) /
+                   std::pow(static_cast<double>(i), alpha)));
+    for (std::uint64_t j = 0; j < size && next_id < n; ++j) {
+      target[next_id++] = i;
+    }
+  }
+  const std::uint64_t n_prime = next_id;
+  if (n - n_prime < i1) {
+    throw EncodeError("embed_in_pl: not enough singleton buckets for H");
+  }
+  // Singleton buckets V_{i1}, V_{i1+1}, ...: one vertex of each degree.
+  std::uint64_t degree = i1;
+  const std::uint64_t singles_begin = next_id;
+  while (next_id < n) target[next_id++] = degree++;
+
+  // --- Embed H into the first i1 singleton vertices. --------------------
+  LowerBoundInstance out;
+  out.i1 = i1;
+  out.h_vertices.resize(i1);
+  for (std::uint64_t i = 0; i < i1; ++i) {
+    out.h_vertices[i] = static_cast<Vertex>(singles_begin + i);
+  }
+
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> edges;
+  std::vector<std::uint64_t> deg(n, 0);
+  auto add_edge = [&](Vertex a, Vertex b) {
+    builder.add_edge(a, b);
+    edges.insert(edge_key(a, b));
+    ++deg[a];
+    ++deg[b];
+  };
+  auto adjacent = [&](Vertex a, Vertex b) {
+    return edges.contains(edge_key(a, b));
+  };
+
+  for (Vertex hu = 0; hu < i1; ++hu) {
+    for (const Vertex hv : h.neighbors(hu)) {
+      if (hu < hv) add_edge(out.h_vertices[hu], out.h_vertices[hv]);
+    }
+  }
+
+  // Membership sets. V' = V \ (V_1 u V_H): buckets 2..i1-1 plus the
+  // singleton vertices beyond the i1 hosting H.
+  std::vector<Vertex> v_prime;
+  v_prime.reserve(n_prime - (v1_end - v1_begin) + (n - singles_begin - i1));
+  for (Vertex v = static_cast<Vertex>(v1_end); v < n_prime; ++v) {
+    v_prime.push_back(v);
+  }
+  for (Vertex v = static_cast<Vertex>(singles_begin + i1); v < n; ++v) {
+    v_prime.push_back(v);
+  }
+
+  // --- Phase 1: V' x V_H until all of V_H is processed. ------------------
+  // A monotone cursor hands each H-host fresh partners from V'; every
+  // partner supplies at most one phase-1 edge, so no (u, v) pair can
+  // repeat and no adjacency check is needed. V' capacity is Theta(n)
+  // against O(i1^2) = o(n) total V_H deficit, so "one edge per partner"
+  // never exhausts the supply.
+  std::size_t cursor = 0;
+  for (const Vertex v : out.h_vertices) {
+    while (deg[v] < target[v]) {
+      while (cursor < v_prime.size() &&
+             deg[v_prime[cursor]] >= target[v_prime[cursor]]) {
+        ++cursor;
+      }
+      if (cursor == v_prime.size()) {
+        throw EncodeError("embed_in_pl: phase 1 exhausted V' (n too small)");
+      }
+      add_edge(v_prime[cursor], v);
+      ++cursor;
+    }
+  }
+
+  // --- Phase 2: pair unprocessed vertices inside V'. ---------------------
+  // Max-heap on deficit; connect the two most deficient non-adjacent
+  // vertices, re-inserting while deficits remain.
+  using Entry = std::pair<std::uint64_t, Vertex>;  // (deficit, vertex)
+  std::priority_queue<Entry> heap;
+  for (const Vertex v : v_prime) {
+    if (deg[v] < target[v]) heap.push({target[v] - deg[v], v});
+  }
+  std::vector<Entry> parked;
+  while (heap.size() >= 2) {
+    auto [da, a] = heap.top();
+    heap.pop();
+    // Entries are pushed exactly once per deficit change, so any entry
+    // whose recorded deficit disagrees with the live one is stale and a
+    // current entry for that vertex exists elsewhere in the heap.
+    if (deg[a] >= target[a] || target[a] - deg[a] != da) continue;
+    parked.clear();
+    Vertex b = 0;
+    bool found = false;
+    while (!heap.empty()) {
+      auto [db, cand] = heap.top();
+      heap.pop();
+      if (deg[cand] >= target[cand] || target[cand] - deg[cand] != db) {
+        continue;
+      }
+      if (cand != a && !adjacent(a, cand)) {
+        b = cand;
+        found = true;
+        break;
+      }
+      parked.push_back({db, cand});
+    }
+    for (const auto& e : parked) heap.push(e);
+    parked.clear();
+    if (!found) {
+      // a is adjacent to every other unprocessed vertex; return it to the
+      // heap so the V_1 cleanup below still sees it.
+      heap.push({target[a] - deg[a], a});
+      break;
+    }
+    add_edge(a, b);
+    if (deg[a] < target[a]) heap.push({target[a] - deg[a], a});
+    if (deg[b] < target[b]) heap.push({target[b] - deg[b], b});
+  }
+  // At most one vertex (or a tiny adjacent clique) remains: process it
+  // against fresh V_1 vertices, each of which reaches its target of 1.
+  std::vector<Vertex> leftovers;
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    // Same staleness rule as above keeps each vertex listed once.
+    if (deg[v] < target[v] && target[v] - deg[v] == d) {
+      leftovers.push_back(v);
+    }
+  }
+  Vertex v1_cursor = static_cast<Vertex>(v1_begin);
+  auto fresh_v1 = [&]() -> Vertex {
+    while (v1_cursor < v1_end && deg[v1_cursor] > 0) ++v1_cursor;
+    if (v1_cursor >= v1_end) {
+      throw EncodeError("embed_in_pl: exhausted V_1 during cleanup");
+    }
+    return v1_cursor;
+  };
+  for (const Vertex v : leftovers) {
+    while (deg[v] < target[v]) add_edge(v, fresh_v1());
+  }
+
+  // --- Phase 3: match remaining degree-0 vertices inside V_1. ------------
+  std::vector<Vertex> zeros;
+  for (Vertex v = static_cast<Vertex>(v1_begin); v < v1_end; ++v) {
+    if (deg[v] == 0) zeros.push_back(v);
+  }
+  for (std::size_t i = 0; i + 1 < zeros.size(); i += 2) {
+    add_edge(zeros[i], zeros[i + 1]);
+  }
+  if (zeros.size() % 2 == 1) {
+    // Lone vertex w: connect to a processed V_1 vertex w', which thereby
+    // moves from V_1 to V_2 (both windows absorb the shift, Def. 2).
+    const Vertex w = zeros.back();
+    Vertex w_prime = static_cast<Vertex>(v1_begin);
+    while (w_prime == w || deg[w_prime] != 1 || adjacent(w, w_prime)) {
+      ++w_prime;
+      if (w_prime >= v1_end) {
+        throw EncodeError("embed_in_pl: no partner for lone V_1 vertex");
+      }
+    }
+    add_edge(w, w_prime);
+  }
+
+  out.g = builder.build();
+  return out;
+}
+
+LowerBoundInstance random_lower_bound_instance(std::uint64_t n, double alpha,
+                                               Rng& rng) {
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  GraphBuilder hb(i1);
+  for (Vertex u = 0; u < i1; ++u) {
+    for (Vertex v = u + 1; v < i1; ++v) {
+      if (rng.next_bool(0.5)) hb.add_edge(u, v);
+    }
+  }
+  const Graph h = hb.build();
+  return embed_in_pl(h, n, alpha);
+}
+
+}  // namespace plg

@@ -1,0 +1,42 @@
+// The Section 5 lower-bound construction (Theorem 6).
+//
+// Given an arbitrary "hard" graph H on i1 = Theta(n^{1/alpha}) vertices,
+// builds an n-vertex graph G in P_l(alpha) that contains H as an induced
+// subgraph. Because adjacency labels of G restrict to adjacency labels of
+// H, and general i1-vertex graphs need >= floor(i1/2)-bit labels (Moon),
+// every adjacency labeling scheme for P_l — hence for P_h — needs
+// Omega(n^{1/alpha}) bits.
+//
+// The construction follows the paper exactly: lay out the P_l bucket
+// sizes, reserve i1 singleton high-degree buckets for the embedded copy
+// of H, then top up degrees in three phases (V' x V_H, V' x V', then
+// inside V_1) until every vertex v in bucket V_i has degree exactly i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+struct LowerBoundInstance {
+  Graph g;                        ///< the host graph, member of P_l(alpha)
+  std::vector<Vertex> h_vertices; ///< ids in g hosting H's vertices, in
+                                  ///< H-vertex order (h_vertices[i] hosts i)
+  std::uint64_t i1 = 0;           ///< |V(H)| = the paper's i1(n, alpha)
+};
+
+/// Embeds H (which must have exactly pl_i1(n, alpha) vertices, each of
+/// degree <= i1 - 1) into a fresh n-vertex member of P_l(alpha).
+/// Throws EncodeError if |V(H)| != i1 or n is too small.
+LowerBoundInstance embed_in_pl(const Graph& h, std::uint64_t n, double alpha);
+
+/// Convenience: samples a uniform random H on i1(n, alpha) vertices with
+/// edge probability 1/2 (the information-theoretically hard instance) and
+/// embeds it.
+LowerBoundInstance random_lower_bound_instance(std::uint64_t n, double alpha,
+                                               Rng& rng);
+
+}  // namespace plg

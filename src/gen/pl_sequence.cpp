@@ -1,0 +1,67 @@
+#include "gen/pl_sequence.h"
+
+#include <cmath>
+
+#include "graph/degree.h"
+#include "powerlaw/constants.h"
+#include "util/errors.h"
+
+namespace plg {
+
+std::vector<std::uint64_t> pl_degree_sequence(std::uint64_t n, double alpha) {
+  if (alpha <= 1.0) {
+    throw EncodeError("pl_degree_sequence: alpha must be > 1");
+  }
+  const double C = pl_C(alpha);
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  const auto v1 = static_cast<std::int64_t>(std::floor(C * static_cast<double>(n))) -
+                  static_cast<std::int64_t>(i1);
+  if (n < 32 || v1 <= 0) {
+    throw EncodeError("pl_degree_sequence: n too small for this alpha");
+  }
+
+  std::vector<std::uint64_t> bucket_of_degree;  // (degree, count) pairs
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(n);
+
+  auto push_bucket = [&](std::uint64_t degree, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) degrees.push_back(degree);
+  };
+
+  push_bucket(1, static_cast<std::uint64_t>(v1));
+  for (std::uint64_t i = 2; i < i1 && degrees.size() < n; ++i) {
+    const auto size = static_cast<std::uint64_t>(
+        std::floor(C * static_cast<double>(n) /
+                   std::pow(static_cast<double>(i), alpha)));
+    push_bucket(i, size);
+  }
+  // Singleton high-degree buckets fill the remainder: degrees i1, i1+1, ...
+  std::uint64_t next_degree = i1;
+  while (degrees.size() < n) {
+    degrees.push_back(next_degree++);
+  }
+  if (degrees.size() != n) {
+    throw EncodeError("pl_degree_sequence: bucket mass exceeded n");
+  }
+
+  // Fix parity: promote one degree-1 vertex to degree 2. Definition 2
+  // allows |V_1| >= floor(Cn) - i1 - 1 and |V_2| <= ceil(.) + 1.
+  std::uint64_t sum = 0;
+  for (const auto d : degrees) sum += d;
+  if (sum % 2 == 1) {
+    for (auto& d : degrees) {
+      if (d == 1) {
+        d = 2;
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+Graph pl_graph(std::uint64_t n, double alpha) {
+  const auto degrees = pl_degree_sequence(n, alpha);
+  return havel_hakimi(degrees);
+}
+
+}  // namespace plg

@@ -1,0 +1,33 @@
+// Exact P_l graphs (Definition 2).
+//
+// pl_degree_sequence() lays out bucket sizes exactly as the Section 5
+// construction does:
+//   |V_1| = floor(C n) - i1,
+//   |V_i| = floor(C n / i^alpha)        for 2 <= i < i1,
+//   |V_i| = 1                            for i = i1 .. i1 + (n - n') - 1,
+// where n' is the mass below i1 — so the sequence sums to exactly n
+// vertices, lands inside every Definition-2 window, and carries the
+// Theta(n^{1/alpha}) spread of singleton high-degree buckets that the
+// lower bound exploits. If the degree sum is odd, one degree-1 vertex is
+// promoted to degree 2 (windows 1 and 2 both absorb the shift).
+//
+// pl_graph() realizes the sequence as an actual simple graph via
+// Havel–Hakimi; the result is a certified member of P_l (tests assert it
+// through check_Pl).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+/// Per-vertex target degrees (ascending). Throws EncodeError if n is too
+/// small for the family to be well-formed at this alpha (n < ~32).
+std::vector<std::uint64_t> pl_degree_sequence(std::uint64_t n, double alpha);
+
+/// A concrete n-vertex member of P_l(alpha).
+Graph pl_graph(std::uint64_t n, double alpha);
+
+}  // namespace plg

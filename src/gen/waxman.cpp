@@ -1,0 +1,31 @@
+#include "gen/waxman.h"
+
+#include <cmath>
+#include <vector>
+
+namespace plg {
+
+Graph waxman(std::size_t n, double beta, double a, Rng& rng) {
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+  const double kL = std::sqrt(2.0);  // max distance in the unit square
+  GraphBuilder builder(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double dx = xs[u] - xs[v];
+      const double dy = ys[u] - ys[v];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = beta * std::exp(-d / (kL * a));
+      if (rng.next_bool(p)) {
+        builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace plg

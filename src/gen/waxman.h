@@ -1,0 +1,19 @@
+// Waxman random geometric graph (reference [53] of the paper): n points
+// uniform in the unit square, edge probability beta * exp(-dist / (L*a)).
+// The paper's Section 6 remarks that Waxman-style generative models do
+// NOT admit obviously smaller labels than the sparse lower bound; the
+// bench suite uses this generator to illustrate exactly that contrast
+// with the BA model.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace plg {
+
+/// O(n^2) sampler — intended for n up to a few tens of thousands.
+Graph waxman(std::size_t n, double beta, double a, Rng& rng);
+
+}  // namespace plg

@@ -1,0 +1,41 @@
+// Degree sequences and degree distributions.
+//
+// The paper's graph families are defined purely by degree statistics, so
+// these helpers are the bridge between generators, the P_h / P_l checkers,
+// and the schemes' threshold logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+/// Degrees of all vertices, indexed by vertex id.
+std::vector<std::uint64_t> degree_sequence(const Graph& g);
+
+/// Histogram: bucket[k] = |V_k| = number of vertices of degree k.
+/// The vector has size max_degree + 1 (or size 1 for the empty graph).
+std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// ddist_G(k) = |V_k| / n (Section 2), as a dense vector over k.
+std::vector<double> degree_distribution(const Graph& g);
+
+/// Complementary cumulative counts: tail[k] = sum_{i >= k} |V_i|, for
+/// k in [0, max_degree + 1]. tail[0] == n, tail[max+1] == 0. This is the
+/// quantity Definition 1 bounds.
+std::vector<std::uint64_t> degree_tail_counts(
+    std::span<const std::uint64_t> histogram);
+
+/// Erdős–Gallai test: is this multiset of degrees realizable as a simple
+/// undirected graph?
+bool erdos_gallai(std::span<const std::uint64_t> degrees);
+
+/// Havel–Hakimi realization. Returns a simple graph whose degree sequence
+/// is exactly `degrees` (degrees[v] = target degree of vertex v).
+/// Throws EncodeError if the sequence is not graphical.
+Graph havel_hakimi(std::span<const std::uint64_t> degrees);
+
+}  // namespace plg

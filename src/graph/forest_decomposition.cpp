@@ -1,0 +1,52 @@
+#include "graph/forest_decomposition.h"
+
+#include <cassert>
+
+#include "graph/algorithms.h"
+
+namespace plg {
+
+ForestDecomposition decompose_into_forests(const Graph& g) {
+  const auto order = degeneracy_order(g);
+  const auto out = orient_by_order(g, order);
+
+  ForestDecomposition result;
+  result.degeneracy = order.degeneracy;
+  result.forests.assign(order.degeneracy,
+                        Forest{.parent = std::vector<Vertex>(
+                                   g.num_vertices(), Forest::kNoParent)});
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::size_t slot = 0;
+    for (const Vertex head : out[v]) {
+      assert(slot < result.forests.size());
+      // v's out-edge in class `slot`: v's parent in forest `slot` is head.
+      result.forests[slot].parent[v] = head;
+      ++slot;
+    }
+  }
+  return result;
+}
+
+bool is_forest(const Forest& f) {
+  // A parent function is a forest iff following parents never cycles.
+  // Standard visited/in-progress walk with path marking.
+  const std::size_t n = f.parent.size();
+  // 0 = unvisited, 1 = on current path, 2 = done.
+  std::vector<unsigned char> state(n, 0);
+  std::vector<Vertex> path;
+  for (Vertex s = 0; s < n; ++s) {
+    if (state[s] != 0) continue;
+    Vertex v = s;
+    path.clear();
+    while (v != Forest::kNoParent && state[v] == 0) {
+      state[v] = 1;
+      path.push_back(v);
+      v = f.parent[v];
+    }
+    if (v != Forest::kNoParent && state[v] == 1) return false;  // cycle
+    for (const Vertex p : path) state[p] = 2;
+  }
+  return true;
+}
+
+}  // namespace plg

@@ -1,0 +1,50 @@
+// Forest decomposition via degeneracy orientation.
+//
+// Proposition 5 of the paper labels BA-model graphs by decomposing them
+// into O(m) forests and concatenating per-forest tree labels. The paper
+// cites the (1+eps)-approximate arboricity partition of Kowalik / Arikati
+// et al.; we implement the classic 2-approximation through degeneracy:
+// orient every edge from the earlier-peeled endpoint to the later one, so
+// each vertex has out-degree <= d (the degeneracy, d <= 2*arboricity - 1).
+// Bucketing each vertex's out-edges into slots 0..d-1 yields d edge
+// classes, and every class is a forest: each vertex has at most one
+// out-edge per class, and all class edges point "forward" along the
+// peeling order, so no cycles can form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+/// One forest of a decomposition, stored as a parent function over the
+/// original vertex ids. parent[v] == kNoParent marks a root (or a vertex
+/// absent from this forest — both decode the same way).
+struct Forest {
+  static constexpr Vertex kNoParent = static_cast<Vertex>(-1);
+  std::vector<Vertex> parent;
+
+  /// True iff (u, v) is a tree edge of this forest.
+  bool has_edge(Vertex u, Vertex v) const noexcept {
+    return parent[u] == v || parent[v] == u;
+  }
+};
+
+struct ForestDecomposition {
+  std::vector<Forest> forests;
+  /// The degeneracy used for the bound (number of forests == degeneracy,
+  /// except that graphs with no edges decompose into zero forests).
+  std::size_t degeneracy = 0;
+};
+
+/// Decomposes g into `degeneracy(g)` forests covering every edge exactly
+/// once. Verified property: for all u, v: g.has_edge(u,v) iff exactly one
+/// forest has_edge(u,v).
+ForestDecomposition decompose_into_forests(const Graph& g);
+
+/// Checks that a parent function is acyclic (i.e. really a forest).
+bool is_forest(const Forest& f);
+
+}  // namespace plg

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plg {
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u == v) return false;
+  // Search in the smaller neighborhood.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    best = std::max(best, static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]));
+  }
+  return best;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (const Vertex v : neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) {
+    throw std::out_of_range("GraphBuilder::add_edge: vertex id out of range");
+  }
+  edges_.push_back({u, v});
+}
+
+Graph GraphBuilder::build() {
+  // Normalize to (min, max), drop self-loops.
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Each range is already sorted: edges were sorted by (u, v), and the
+  // reverse direction inserts v's neighbors in increasing u as well only
+  // for u < v; interleaving with forward inserts can break order, so sort
+  // ranges explicitly (cheap, and keeps the invariant obvious).
+  for (std::size_t v = 0; v < n_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  edges_.clear();
+  return g;
+}
+
+Graph make_graph(std::size_t num_vertices, std::span<const Edge> edges) {
+  GraphBuilder b(num_vertices);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+}  // namespace plg

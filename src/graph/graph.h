@@ -1,0 +1,100 @@
+// Immutable undirected graph in compressed sparse row (CSR) form, plus the
+// mutable builder that produces it.
+//
+// All labeling schemes in plg_core consume this representation. Invariants
+// established by GraphBuilder::build() and relied on everywhere:
+//   * vertex ids are dense in [0, n);
+//   * no self-loops, no parallel edges;
+//   * each undirected edge appears in both endpoints' neighbor ranges;
+//   * every neighbor range is sorted ascending (binary-searchable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace plg {
+
+using Vertex = std::uint32_t;
+
+struct Edge {
+  Vertex u;
+  Vertex v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_vertices() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor ids of v.
+  std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff (u, v) is an edge. O(log deg(min)).
+  bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  std::size_t max_degree() const noexcept;
+
+  /// All edges with u < v, in increasing (u, v) order.
+  std::vector<Edge> edge_list() const;
+
+  /// True iff |E| <= c * |V| (the paper's c-sparsity, Section 2).
+  bool is_sparse(double c) const noexcept {
+    return static_cast<double>(num_edges()) <=
+           c * static_cast<double>(num_vertices());
+  }
+
+  /// Smallest c such that the graph is c-sparse: |E| / |V|.
+  double sparsity() const noexcept {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) /
+                     static_cast<double>(num_vertices());
+  }
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<Vertex> adjacency_;       // size 2m, sorted per range
+};
+
+/// Accumulates edges, then produces a normalized Graph.
+///
+/// add_edge is tolerant: self-loops and duplicates may be added and are
+/// removed during build(), so generators can be written naturally.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_vertices) : n_(num_vertices) {}
+
+  std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Records an undirected edge. Throws std::out_of_range on bad ids.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Number of edge records currently held (before dedup).
+  std::size_t raw_edge_count() const noexcept { return edges_.size(); }
+
+  /// Normalizes (dedup, drop self-loops, sort) and builds the CSR graph.
+  /// The builder is left empty afterwards.
+  Graph build();
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+/// Convenience: builds a graph directly from an edge list.
+Graph make_graph(std::size_t num_vertices, std::span<const Edge> edges);
+
+}  // namespace plg

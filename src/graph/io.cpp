@@ -1,0 +1,105 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/errors.h"
+
+namespace plg {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edge_list()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+      return true;
+    }
+    return false;
+  };
+  if (!next_data_line()) throw DecodeError("read_edge_list: empty input");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(header >> n >> m)) {
+    throw DecodeError("read_edge_list: malformed header");
+  }
+  GraphBuilder builder(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_data_line()) {
+      throw DecodeError("read_edge_list: fewer edges than header declares");
+    }
+    std::istringstream row(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(row >> u >> v) || u >= n || v >= n) {
+      throw DecodeError("read_edge_list: malformed edge line");
+    }
+    builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return builder.build();
+}
+
+namespace {
+template <typename T>
+void put(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) throw DecodeError("read_binary: truncated stream");
+  return value;
+}
+}  // namespace
+
+void write_binary(std::ostream& os, const Graph& g) {
+  put<std::uint64_t>(os, g.num_vertices());
+  put<std::uint64_t>(os, g.num_edges());
+  for (const Edge& e : g.edge_list()) {
+    put<std::uint32_t>(os, e.u);
+    put<std::uint32_t>(os, e.v);
+  }
+}
+
+Graph read_binary(std::istream& is) {
+  const auto n = get<std::uint64_t>(is);
+  const auto m = get<std::uint64_t>(is);
+  GraphBuilder builder(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = get<std::uint32_t>(is);
+    const auto v = get<std::uint32_t>(is);
+    if (u >= n || v >= n) throw DecodeError("read_binary: bad vertex id");
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DecodeError("load_graph: cannot open " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
+    return read_binary(in);
+  }
+  return read_edge_list(in);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw EncodeError("save_graph: cannot open " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
+    write_binary(out, g);
+  } else {
+    write_edge_list(out, g);
+  }
+}
+
+}  // namespace plg

@@ -1,0 +1,29 @@
+// Graph serialization: whitespace-separated edge-list text (compatible
+// with the common `u v` per-line dataset format) and a compact binary
+// format for benchmark caching.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+/// Writes "n m" header then one "u v" line per edge (u < v).
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Reads the format produced by write_edge_list. Lines beginning with '#'
+/// or '%' are skipped (SNAP/Matrix-Market-style comments).
+/// Throws DecodeError on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Binary round-trip: little-endian u64 n, u64 m, then 2m u32 endpoints.
+void write_binary(std::ostream& os, const Graph& g);
+Graph read_binary(std::istream& is);
+
+/// File-path conveniences. Throw DecodeError / EncodeError on IO failure.
+Graph load_graph(const std::string& path);
+void save_graph(const std::string& path, const Graph& g);
+
+}  // namespace plg

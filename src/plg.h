@@ -1,0 +1,49 @@
+// Umbrella header: the full public API of the plg library.
+//
+// plg implements the adjacency and distance labeling schemes of
+// Petersen, Rotbart, Simonsen & Wulff-Nilsen, "Near Optimal Adjacency
+// Labeling Schemes for Power-Law Graphs" (ICALP 2016; announced at PODC
+// 2016), together with every substrate they rest on: CSR graphs, power-law
+// family checkers (P_h / P_l), exponent fitting, graph generators, and the
+// Section 5 lower-bound construction.
+#pragma once
+
+#include "core/ba_online_scheme.h"
+#include "core/baseline.h"
+#include "core/distance_baseline.h"
+#include "core/distance_scheme.h"
+#include "core/dynamic_scheme.h"
+#include "core/forest_scheme.h"
+#include "core/label.h"
+#include "core/hybrid_scheme.h"
+#include "core/hub_labeling.h"
+#include "core/label_store.h"
+#include "core/labeling.h"
+#include "core/one_query.h"
+#include "core/routing.h"
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "core/universal.h"
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/hierarchical.h"
+#include "gen/lower_bound.h"
+#include "gen/pl_sequence.h"
+#include "gen/waxman.h"
+#include "graph/algorithms.h"
+#include "graph/degree.h"
+#include "graph/forest_decomposition.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "powerlaw/constants.h"
+#include "powerlaw/family.h"
+#include "powerlaw/fit.h"
+#include "powerlaw/threshold.h"
+#include "util/bit_stream.h"
+#include "util/bits.h"
+#include "util/bitvector.h"
+#include "util/errors.h"
+#include "util/mathx.h"
+#include "util/random.h"

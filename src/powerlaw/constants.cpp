@@ -1,0 +1,54 @@
+#include "powerlaw/constants.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace plg {
+
+double pl_C(double alpha) {
+  assert(alpha > 1.0);
+  return 1.0 / riemann_zeta(alpha);
+}
+
+double pl_ideal_bucket(std::uint64_t n, double alpha, std::uint64_t k) {
+  return pl_C(alpha) * static_cast<double>(n) /
+         std::pow(static_cast<double>(k), alpha);
+}
+
+std::uint64_t pl_i1(std::uint64_t n, double alpha) {
+  // floor(C*n / i^alpha) <= 1  <=>  C*n / i^alpha < 2
+  //                            <=>  i > (C*n/2)^{1/alpha}.
+  // Search from the floating-point estimate and correct stepwise so the
+  // returned value is exactly the smallest integer satisfying the floor
+  // condition (robust against pow() rounding).
+  const double C = pl_C(alpha);
+  auto ok = [&](std::uint64_t i) {
+    return std::floor(C * static_cast<double>(n) /
+                      std::pow(static_cast<double>(i), alpha)) <= 1.0;
+  };
+  std::uint64_t i = static_cast<std::uint64_t>(
+      std::pow(C * static_cast<double>(n) / 2.0, 1.0 / alpha));
+  if (i < 1) i = 1;
+  while (!ok(i)) ++i;
+  while (i > 1 && ok(i - 1)) --i;
+  return i;
+}
+
+double pl_Cprime(std::uint64_t n, double alpha) {
+  const double C = pl_C(alpha);
+  const double root = std::pow(static_cast<double>(n), 1.0 / alpha);
+  const double i1 = static_cast<double>(pl_i1(n, alpha));
+  const double base = C / (alpha - 1.0) + i1 / root + 5.0;
+  return std::pow(base, alpha) + C / (alpha - 1.0);
+}
+
+double pl_max_degree_bound(std::uint64_t n, double alpha) {
+  const double C = pl_C(alpha);
+  const double root = std::pow(static_cast<double>(n), 1.0 / alpha);
+  return (C / (alpha - 1.0) + 2.0) * root +
+         static_cast<double>(pl_i1(n, alpha)) + 3.0;
+}
+
+}  // namespace plg

@@ -1,0 +1,32 @@
+// The paper's constants (Section 3), computed exactly as defined:
+//
+//   C(alpha)   = 1 / zeta(alpha)       — normalizer of the ideal power law
+//   i1(n, a)   = smallest integer with floor(C*n / i1^a) <= 1
+//                (i1 = Theta(n^{1/a}); the first degree bucket whose ideal
+//                 size rounds to at most one vertex)
+//   C'(n, a)   = (C/(a-1) + i1/n^{1/a} + 5)^a + C/(a-1)
+//                (the smallest constant Definition 1 permits; the paper
+//                 states C' >= this expression)
+#pragma once
+
+#include <cstdint>
+
+namespace plg {
+
+/// C = 1/zeta(alpha). Requires alpha > 1.
+double pl_C(double alpha);
+
+/// Smallest i1 >= 1 with floor(C*n / i1^alpha) <= 1.
+std::uint64_t pl_i1(std::uint64_t n, double alpha);
+
+/// The paper's C' for given n, alpha (smallest admissible value).
+double pl_Cprime(std::uint64_t n, double alpha);
+
+/// Ideal bucket size |V_k| of the perfect power law: C * n / k^alpha.
+double pl_ideal_bucket(std::uint64_t n, double alpha, std::uint64_t k);
+
+/// Upper bound on the max degree of an n-vertex graph in P_l
+/// (Proposition 1): (C/(alpha-1) + 2) * n^{1/alpha} + i1 + 3.
+double pl_max_degree_bound(std::uint64_t n, double alpha);
+
+}  // namespace plg

@@ -1,0 +1,167 @@
+#include "powerlaw/family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/degree.h"
+#include "powerlaw/constants.h"
+
+namespace plg {
+
+namespace {
+std::string describe(std::uint64_t k, double have, double allowed) {
+  std::ostringstream os;
+  os << "at degree k=" << k << ": tail/bucket count " << have
+     << " exceeds allowed " << allowed;
+  return os.str();
+}
+
+std::string describe_window(std::uint64_t k, double have, double lo,
+                            double hi) {
+  std::ostringstream os;
+  os << "at degree k=" << k << ": |V_" << k << "| = " << have
+     << " outside allowed window [" << lo << ", " << hi << "]";
+  return os.str();
+}
+}  // namespace
+
+FamilyReport check_Ph(const Graph& g, double alpha, std::uint64_t chi_n,
+                      double c_prime) {
+  const std::uint64_t n = g.num_vertices();
+  FamilyReport report;
+  if (n == 0) {
+    report.member = true;
+    return report;
+  }
+  const auto hist = degree_histogram(g);
+  const auto tail = degree_tail_counts(hist);
+  const std::uint64_t max_deg = hist.size() - 1;
+
+  report.member = true;
+  // Beyond max_deg the tail is zero, so only k <= max_deg can violate.
+  const std::uint64_t hi = std::min<std::uint64_t>(n - 1, max_deg);
+  for (std::uint64_t k = std::max<std::uint64_t>(chi_n, 1); k <= hi; ++k) {
+    const double allowed = c_prime * static_cast<double>(n) /
+                           std::pow(static_cast<double>(k), alpha - 1.0);
+    const double have = static_cast<double>(tail[k]);
+    report.worst_ratio = std::max(report.worst_ratio, have / allowed);
+    if (have > allowed && report.member) {
+      report.member = false;
+      report.violation = describe(k, have, allowed);
+    }
+  }
+  return report;
+}
+
+FamilyReport check_Ph(const Graph& g, double alpha) {
+  return check_Ph(g, alpha, 1, pl_Cprime(g.num_vertices(), alpha));
+}
+
+FamilyReport check_Pl(const Graph& g, double alpha) {
+  const std::uint64_t n = g.num_vertices();
+  FamilyReport report;
+  if (n == 0) {
+    report.member = true;
+    return report;
+  }
+  const double C = pl_C(alpha);
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  auto hist = degree_histogram(g);
+  hist.resize(std::max<std::size_t>(hist.size(), n + 1), 0);
+
+  auto bucket = [&](std::uint64_t i) { return static_cast<double>(hist[i]); };
+  auto ideal = [&](std::uint64_t i) {
+    return C * static_cast<double>(n) / std::pow(static_cast<double>(i), alpha);
+  };
+
+  report.member = true;
+  auto fail = [&](const std::string& why) {
+    if (report.member) {
+      report.member = false;
+      report.violation = why;
+    }
+  };
+
+  // Condition 1: floor(Cn) - i1 - 1 <= |V_1| <= ceil(Cn).
+  {
+    const double lo = std::floor(C * static_cast<double>(n)) -
+                      static_cast<double>(i1) - 1.0;
+    const double hi = std::ceil(C * static_cast<double>(n));
+    if (bucket(1) < lo || bucket(1) > hi) {
+      fail(describe_window(1, bucket(1), lo, hi));
+    }
+  }
+  // Condition 2: floor(Cn/2^a) <= |V_2| <= ceil(Cn/2^a) + 1.
+  {
+    const double lo = std::floor(ideal(2));
+    const double hi = std::ceil(ideal(2)) + 1.0;
+    if (bucket(2) < lo || bucket(2) > hi) {
+      fail(describe_window(2, bucket(2), lo, hi));
+    }
+  }
+  // Condition 3: |V_i| in {floor, ceil} of Cn/i^a for 3 <= i <= n.
+  for (std::uint64_t i = 3; i <= n; ++i) {
+    const double lo = std::floor(ideal(i));
+    const double hi = std::ceil(ideal(i));
+    if (bucket(i) < lo || bucket(i) > hi) {
+      fail(describe_window(i, bucket(i), lo, hi));
+      break;
+    }
+    // Past max degree, buckets are zero; once the ideal bucket floors to
+    // zero and the observed bucket is zero, all later i trivially pass.
+    if (i > g.max_degree() && lo == 0.0) break;
+  }
+  // Condition 4: |V_i| >= |V_{i+1}| for 2 <= i <= n-1.
+  const std::uint64_t max_deg = g.max_degree();
+  for (std::uint64_t i = 2; i <= max_deg && i + 1 <= n - 1; ++i) {
+    if (hist[i] < hist[i + 1]) {
+      std::ostringstream os;
+      os << "monotonicity violated: |V_" << i << "|=" << hist[i] << " < |V_"
+         << i + 1 << "|=" << hist[i + 1];
+      fail(os.str());
+      break;
+    }
+  }
+  return report;
+}
+
+double min_Cprime(const Graph& g, double alpha, std::uint64_t chi_n) {
+  // With C' = 1 the report's worst_ratio is exactly
+  // max_k tail(k) * k^{alpha-1} / n — the minimal admissible constant.
+  return check_Ph(g, alpha, chi_n, 1.0).worst_ratio;
+}
+
+FamilyReport check_power_law_bounded(const Graph& g, double alpha, double t,
+                                     double c1) {
+  const std::uint64_t n = g.num_vertices();
+  FamilyReport report;
+  if (n == 0) {
+    report.member = true;
+    return report;
+  }
+  const auto hist = degree_histogram(g);
+  const std::uint64_t max_deg = hist.size() - 1;
+
+  report.member = true;
+  for (std::uint64_t lo = 1; lo <= max_deg; lo *= 2) {
+    const std::uint64_t hi = std::min<std::uint64_t>(2 * lo - 1, max_deg);
+    double have = 0.0;
+    for (std::uint64_t i = lo; i <= hi; ++i) have += static_cast<double>(hist[i]);
+    double model = 0.0;
+    for (std::uint64_t i = lo; i <= 2 * lo - 1; ++i) {
+      model += std::pow(static_cast<double>(i) + t, -alpha);
+    }
+    const double allowed = c1 * static_cast<double>(n) *
+                           std::pow(t + 1.0, alpha - 1.0) * model;
+    report.worst_ratio = std::max(
+        report.worst_ratio, allowed == 0.0 ? 0.0 : have / allowed);
+    if (have > allowed && report.member) {
+      report.member = false;
+      report.violation = describe(lo, have, allowed);
+    }
+  }
+  return report;
+}
+
+}  // namespace plg

@@ -1,0 +1,56 @@
+// Membership checkers for the paper's graph families.
+//
+//   P_h (Definition 1): upper-bound family. For every k in [chi(n), n-1],
+//     the degree tail satisfies sum_{i>=k} |V_i| <= C' * n / k^{alpha-1}.
+//   P_l (Definition 2): lower-bound family with near-exact bucket sizes
+//     |V_i| ~ C*n/i^alpha and monotone buckets.
+//   Power-law bounded (Section 3.1, Brach et al.): dyadic bucket bound
+//     |{v : deg in [2^d, 2^{d+1})}| <= c1 * n * (t+1)^{alpha-1}
+//        * sum_{i=2^d}^{2^{d+1}-1} (i+t)^{-alpha}.
+//
+// Each checker returns a small report rather than a bare bool so tests and
+// benchmarks can show *where* a graph violates a family constraint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+struct FamilyReport {
+  bool member = false;
+  /// Human-readable reason for the first violation (empty when member).
+  std::string violation;
+  /// Largest observed ratio (tail count) / (allowed bound); <= 1 iff
+  /// member for the tail-style families.
+  double worst_ratio = 0.0;
+
+  explicit operator bool() const noexcept { return member; }
+};
+
+/// Definition 1 with explicit C'. chi_n is the cutoff value chi(n).
+FamilyReport check_Ph(const Graph& g, double alpha, std::uint64_t chi_n,
+                      double c_prime);
+
+/// Definition 1 with the paper's canonical C'(n, alpha) and chi(n) = 1.
+FamilyReport check_Ph(const Graph& g, double alpha);
+
+/// Definition 2 (all four conditions).
+FamilyReport check_Pl(const Graph& g, double alpha);
+
+/// Section 3.1 dyadic model with shift t and leading constant c1.
+FamilyReport check_power_law_bounded(const Graph& g, double alpha, double t,
+                                     double c1);
+
+/// The smallest C' for which g is a member of P_h(chi, alpha):
+///   max over k >= chi_n of  (sum_{i>=k} |V_i|) * k^{alpha-1} / n.
+/// Feeding this back into the Theorem 4 threshold rule gives a
+/// data-driven threshold that adapts to graphs whose power law only
+/// holds above a cutoff (e.g. dense-headed real-world graphs); see
+/// bench_realworld.
+double min_Cprime(const Graph& g, double alpha, std::uint64_t chi_n = 1);
+
+}  // namespace plg

@@ -1,0 +1,168 @@
+#include "powerlaw/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/degree.h"
+#include "util/errors.h"
+#include "util/mathx.h"
+
+namespace plg {
+
+namespace {
+
+/// Collects ln-degree sum and count for the tail d_i >= x_min.
+struct TailStats {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+};
+
+TailStats tail_stats(std::span<const std::uint64_t> degrees,
+                     std::uint64_t x_min) {
+  TailStats s;
+  for (const auto d : degrees) {
+    if (d >= x_min && d > 0) {
+      s.log_sum += std::log(static_cast<double>(d));
+      ++s.count;
+    }
+  }
+  return s;
+}
+
+/// Golden-section maximization of a unimodal function on [lo, hi].
+template <typename Fn>
+double golden_max(Fn&& fn, double lo, double hi, double tol) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = fn(x1);
+  double f2 = fn(x2);
+  while (b - a > tol) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = fn(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = fn(x1);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace
+
+double fit_alpha_mle(std::span<const std::uint64_t> degrees,
+                     std::uint64_t x_min) {
+  if (x_min < 1) throw EncodeError("fit_alpha_mle: x_min must be >= 1");
+  const TailStats s = tail_stats(degrees, x_min);
+  if (s.count == 0) {
+    throw EncodeError("fit_alpha_mle: no degrees >= x_min");
+  }
+  const auto log_likelihood = [&](double a) {
+    return -static_cast<double>(s.count) * std::log(zeta_tail(a, x_min)) -
+           a * s.log_sum;
+  };
+  return golden_max(log_likelihood, 1.01, 8.0, 1e-7);
+}
+
+double fit_alpha_continuous(std::span<const std::uint64_t> degrees,
+                            std::uint64_t x_min) {
+  if (x_min < 1) {
+    throw EncodeError("fit_alpha_continuous: x_min must be >= 1");
+  }
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  const double shift = static_cast<double>(x_min) - 0.5;
+  for (const auto d : degrees) {
+    if (d >= x_min && d > 0) {
+      log_sum += std::log(static_cast<double>(d) / shift);
+      ++count;
+    }
+  }
+  if (count == 0) {
+    throw EncodeError("fit_alpha_continuous: no degrees >= x_min");
+  }
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double ks_distance(std::span<const std::uint64_t> degrees, double alpha,
+                   std::uint64_t x_min) {
+  // Empirical tail counts over [x_min, max].
+  std::uint64_t max_deg = 0;
+  std::size_t tail_n = 0;
+  for (const auto d : degrees) {
+    if (d >= x_min) {
+      max_deg = std::max(max_deg, d);
+      ++tail_n;
+    }
+  }
+  if (tail_n == 0) return 1.0;
+
+  std::vector<std::uint64_t> hist(max_deg + 1, 0);
+  for (const auto d : degrees) {
+    if (d >= x_min) ++hist[d];
+  }
+
+  const double z = zeta_tail(alpha, x_min);
+  double emp_cdf = 0.0;
+  double model_cdf = 0.0;
+  double worst = 0.0;
+  for (std::uint64_t k = x_min; k <= max_deg; ++k) {
+    emp_cdf += static_cast<double>(hist[k]) / static_cast<double>(tail_n);
+    model_cdf += std::pow(static_cast<double>(k), -alpha) / z;
+    worst = std::max(worst, std::abs(emp_cdf - model_cdf));
+  }
+  return worst;
+}
+
+PowerLawFit fit_power_law(std::span<const std::uint64_t> degrees,
+                          std::size_t max_xmin_candidates) {
+  std::vector<std::uint64_t> distinct(degrees.begin(), degrees.end());
+  std::erase(distinct, 0);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.empty()) {
+    throw EncodeError("fit_power_law: graph has no edges");
+  }
+  if (distinct.size() > max_xmin_candidates) {
+    distinct.resize(max_xmin_candidates);
+  }
+
+  PowerLawFit best;
+  best.ks_distance = std::numeric_limits<double>::infinity();
+  for (const auto x_min : distinct) {
+    const TailStats s = tail_stats(degrees, x_min);
+    // Require a meaningful tail; tiny tails trivially fit anything.
+    if (s.count < 10) continue;
+    const double alpha = fit_alpha_mle(degrees, x_min);
+    const double ks = ks_distance(degrees, alpha, x_min);
+    if (ks < best.ks_distance) {
+      best = PowerLawFit{alpha, x_min, ks, s.count};
+    }
+  }
+  if (!std::isfinite(best.ks_distance)) {
+    // Degenerate input (fewer than 10 positive degrees): fit at x_min = 1.
+    best.alpha = fit_alpha_mle(degrees, 1);
+    best.x_min = 1;
+    best.ks_distance = ks_distance(degrees, best.alpha, 1);
+    best.tail_size = tail_stats(degrees, 1).count;
+  }
+  return best;
+}
+
+PowerLawFit fit_power_law(const Graph& g, std::size_t max_xmin_candidates) {
+  const auto degrees = degree_sequence(g);
+  return fit_power_law(degrees, max_xmin_candidates);
+}
+
+}  // namespace plg

@@ -1,0 +1,52 @@
+// Fitting a discrete power law to a graph's degree distribution.
+//
+// The paper's power-law scheme needs only the exponent alpha of "a
+// power-law curve fitted to the degree distribution of G" (Section 1.1).
+// We implement the standard discrete maximum-likelihood estimator with
+// x_min selection by Kolmogorov–Smirnov distance (Clauset, Shalizi &
+// Newman 2009 — reference [24] of the paper), plus the cheap continuous
+// approximation for quick estimates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace plg {
+
+struct PowerLawFit {
+  double alpha = 0.0;       ///< fitted exponent
+  std::uint64_t x_min = 1;  ///< smallest degree the power law covers
+  double ks_distance = 0.0; ///< KS distance of the fit over [x_min, inf)
+  std::size_t tail_size = 0;///< number of samples with degree >= x_min
+};
+
+/// Discrete MLE for fixed x_min: maximizes
+///   L(a) = -N * ln zeta(a, x_min) - a * sum ln d_i   over d_i >= x_min.
+/// Degrees below x_min are ignored; zero degrees are always ignored.
+double fit_alpha_mle(std::span<const std::uint64_t> degrees,
+                     std::uint64_t x_min);
+
+/// Continuous-approximation estimator
+///   alpha = 1 + N / sum ln(d_i / (x_min - 0.5)).
+double fit_alpha_continuous(std::span<const std::uint64_t> degrees,
+                            std::uint64_t x_min);
+
+/// Full fit: sweeps x_min over the distinct degrees (at most
+/// `max_xmin_candidates` of them, smallest first), picking the x_min whose
+/// MLE fit minimizes the KS distance.
+PowerLawFit fit_power_law(std::span<const std::uint64_t> degrees,
+                          std::size_t max_xmin_candidates = 50);
+
+/// Convenience overload over a graph's degree sequence.
+PowerLawFit fit_power_law(const Graph& g,
+                          std::size_t max_xmin_candidates = 50);
+
+/// KS distance between the empirical tail distribution of `degrees`
+/// restricted to [x_min, inf) and the ideal zeta(alpha, x_min) law.
+double ks_distance(std::span<const std::uint64_t> degrees, double alpha,
+                   std::uint64_t x_min);
+
+}  // namespace plg

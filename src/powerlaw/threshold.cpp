@@ -1,0 +1,72 @@
+#include "powerlaw/threshold.h"
+
+#include <cmath>
+
+#include "powerlaw/constants.h"
+#include "util/mathx.h"
+
+namespace plg {
+
+double safe_log2(std::uint64_t n) {
+  const double l = std::log2(static_cast<double>(n));
+  return l < 1.0 ? 1.0 : l;
+}
+
+std::uint64_t tau_sparse(std::uint64_t n, double c) {
+  const double x = std::sqrt(2.0 * c * static_cast<double>(n) / safe_log2(n));
+  const auto tau = static_cast<std::uint64_t>(std::ceil(x));
+  return tau == 0 ? 1 : tau;
+}
+
+std::uint64_t tau_power_law(std::uint64_t n, double alpha) {
+  return tau_power_law(n, alpha, pl_Cprime(n, alpha));
+}
+
+std::uint64_t tau_power_law(std::uint64_t n, double alpha, double c_prime) {
+  const double x = std::pow(
+      c_prime * static_cast<double>(n) / safe_log2(n), 1.0 / alpha);
+  const auto tau = static_cast<std::uint64_t>(std::ceil(x));
+  return tau == 0 ? 1 : tau;
+}
+
+std::uint64_t tau_distance(std::uint64_t n, double alpha, std::uint64_t f) {
+  const double x = std::pow(static_cast<double>(n),
+                            1.0 / (alpha - 1.0 + static_cast<double>(f)));
+  const auto tau = static_cast<std::uint64_t>(std::ceil(x));
+  return tau == 0 ? 1 : tau;
+}
+
+double bound_sparse_bits(std::uint64_t n, double c) {
+  const double log_n = safe_log2(n);
+  return std::sqrt(2.0 * c * static_cast<double>(n) * log_n) + 2.0 * log_n +
+         1.0;
+}
+
+double bound_power_law_bits(std::uint64_t n, double alpha) {
+  return bound_power_law_bits(n, alpha, pl_Cprime(n, alpha));
+}
+
+double bound_power_law_bits(std::uint64_t n, double alpha, double c_prime) {
+  const double log_n = safe_log2(n);
+  return std::pow(c_prime * static_cast<double>(n), 1.0 / alpha) *
+             std::pow(log_n, 1.0 - 1.0 / alpha) +
+         2.0 * log_n + 1.0;
+}
+
+std::uint64_t lower_bound_sparse_bits(std::uint64_t n, double c) {
+  return static_cast<std::uint64_t>(
+      std::floor(std::sqrt(c * static_cast<double>(n)) / 2.0));
+}
+
+std::uint64_t lower_bound_power_law_bits(std::uint64_t n, double alpha) {
+  return pl_i1(n, alpha) / 2;
+}
+
+double bound_distance_bits(std::uint64_t n, double alpha, std::uint64_t f) {
+  const double fd = static_cast<double>(f);
+  const double tail = std::pow(static_cast<double>(n),
+                               fd / (alpha - 1.0 + fd));
+  return tail * (std::log2(fd + 1.0) + safe_log2(n));
+}
+
+}  // namespace plg

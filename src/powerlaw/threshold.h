@@ -1,0 +1,48 @@
+// Degree-threshold predictions and label-size bound formulas.
+//
+// The single idea behind the paper's schemes is the thin/fat partition at
+// a threshold tau(n):
+//   Theorem 3 (c-sparse):    tau = ceil( sqrt(2 c n / log n) )
+//   Theorem 4 (P_h):         tau = ceil( (C' n / log n)^{1/alpha} )
+//   Lemma 7 (f(n)-distance): fat iff degree >= n^{1/(alpha-1+f)}
+// All logs are base 2, matching "bits" in the label-size accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace plg {
+
+/// log2(n), floored at 1 so thresholds are well-defined for tiny n.
+double safe_log2(std::uint64_t n);
+
+/// Theorem 3 threshold for c-sparse n-vertex graphs.
+std::uint64_t tau_sparse(std::uint64_t n, double c);
+
+/// Theorem 4 threshold for P_h with exponent alpha (canonical C'(n,alpha)).
+std::uint64_t tau_power_law(std::uint64_t n, double alpha);
+
+/// Theorem 4 threshold with an explicit C'.
+std::uint64_t tau_power_law(std::uint64_t n, double alpha, double c_prime);
+
+/// Lemma 7 fat threshold: n^{1/(alpha-1+f)}.
+std::uint64_t tau_distance(std::uint64_t n, double alpha, std::uint64_t f);
+
+/// Theorem 3 label-size bound in bits: sqrt(2cn log n) + 2 log n + 1.
+double bound_sparse_bits(std::uint64_t n, double c);
+
+/// Theorem 4 label-size bound in bits:
+/// (C' n)^{1/alpha} (log n)^{1 - 1/alpha} + 2 log n + 1.
+double bound_power_law_bits(std::uint64_t n, double alpha);
+double bound_power_law_bits(std::uint64_t n, double alpha, double c_prime);
+
+/// Proposition 4 lower bound for S_{c,n}: floor(sqrt(c n) / 2) bits.
+std::uint64_t lower_bound_sparse_bits(std::uint64_t n, double c);
+
+/// Theorem 6 lower bound for P_l: floor(i1 / 2) bits (i1 = Theta(n^{1/a})).
+std::uint64_t lower_bound_power_law_bits(std::uint64_t n, double alpha);
+
+/// Lemma 7 label-size bound in bits (up to constants):
+/// n^{f/(alpha-1+f)} * (log2(f+1) + log2(n)).
+double bound_distance_bits(std::uint64_t n, double alpha, std::uint64_t f);
+
+}  // namespace plg

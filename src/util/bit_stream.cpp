@@ -1,0 +1,84 @@
+#include "util/bit_stream.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace plg {
+
+void BitWriter::write_bits(std::uint64_t value, int width) {
+  assert(width >= 0 && width <= 64);
+  if (width == 0) return;
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+
+  const std::size_t word = bits_ / 64;
+  const int offset = static_cast<int>(bits_ % 64);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << offset;
+  const int spill = offset + width - 64;
+  if (spill > 0) {
+    words_.push_back(value >> (width - spill));
+  }
+  bits_ += static_cast<std::size_t>(width);
+}
+
+void BitWriter::write_gamma(std::uint64_t x) {
+  assert(x >= 1);
+  const int len = floor_log2(x);
+  write_bits(0, len);               // len zeros
+  write_bits(1, 1);                 // stop bit == leading 1 of x
+  if (len > 0) {
+    // Low `len` bits of x, most significant first is not required; we keep
+    // them in natural little-endian field order and re-assemble on read.
+    write_bits(x & ((std::uint64_t{1} << len) - 1), len);
+  }
+}
+
+void BitWriter::write_delta(std::uint64_t x) {
+  assert(x >= 1);
+  const int len = floor_log2(x);
+  write_gamma(static_cast<std::uint64_t>(len) + 1);
+  if (len > 0) {
+    write_bits(x & ((std::uint64_t{1} << len) - 1), len);
+  }
+}
+
+std::uint64_t BitReader::read_bits(int width) {
+  assert(width >= 0 && width <= 64);
+  if (width == 0) return 0;
+  if (pos_ + static_cast<std::size_t>(width) > size_bits_) {
+    throw DecodeError("BitReader: read past end of stream");
+  }
+  const std::size_t word = pos_ / 64;
+  const int offset = static_cast<int>(pos_ % 64);
+  std::uint64_t value = words_[word] >> offset;
+  const int got = 64 - offset;
+  if (got < width) {
+    value |= words_[word + 1] << got;
+  }
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  pos_ += static_cast<std::size_t>(width);
+  return value;
+}
+
+std::uint64_t BitReader::read_gamma() {
+  int len = 0;
+  while (!read_bit()) {
+    ++len;
+    if (len > 64) throw DecodeError("BitReader: malformed gamma code");
+  }
+  std::uint64_t low = 0;
+  if (len > 0) low = read_bits(len);
+  return (std::uint64_t{1} << len) | low;
+}
+
+std::uint64_t BitReader::read_delta() {
+  const std::uint64_t len64 = read_gamma() - 1;
+  if (len64 > 63) throw DecodeError("BitReader: malformed delta code");
+  const int len = static_cast<int>(len64);
+  std::uint64_t low = 0;
+  if (len > 0) low = read_bits(len);
+  return (std::uint64_t{1} << len) | low;
+}
+
+}  // namespace plg

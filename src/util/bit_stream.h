@@ -1,0 +1,99 @@
+// Bit-granular serialization: BitWriter / BitReader.
+//
+// Labels in this library are genuine bit strings, so label sizes can be
+// compared against the paper's bounds at bit precision. The writer appends
+// fields little-endian-within-word; the reader consumes them in the same
+// order. Variable-length integers use Elias gamma/delta codes, which cost
+// O(log x) bits and keep the additive overhead of self-delimiting labels
+// within the paper's `+ O(log n)` terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace plg {
+
+/// Append-only bit sink backed by a vector of 64-bit words.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `width` bits of `value` (0 <= width <= 64).
+  void write_bits(std::uint64_t value, int width);
+
+  /// Appends a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  /// Elias gamma code for x >= 1: floor(log2 x) zeros, then x's bits.
+  /// Costs 2*floor(log2 x) + 1 bits.
+  void write_gamma(std::uint64_t x);
+
+  /// Elias delta code for x >= 1; costs log2 x + O(log log x) bits.
+  void write_delta(std::uint64_t x);
+
+  /// Gamma code shifted so that zero is encodable (encodes x+1).
+  void write_gamma0(std::uint64_t x) { write_gamma(x + 1); }
+
+  /// Number of bits written so far.
+  std::size_t size_bits() const noexcept { return bits_; }
+
+  /// Finalizes and returns the backing words (moved out).
+  std::vector<std::uint64_t> take_words() && { return std::move(words_); }
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+/// Sequential reader over a word buffer written by BitWriter.
+///
+/// All reads throw DecodeError past the end; decoders rely on this to
+/// reject truncated labels rather than reading garbage.
+class BitReader {
+ public:
+  /// Empty reader: every read throws. Exists so parsers can default-
+  /// construct header structs before filling them in.
+  BitReader() noexcept : words_(nullptr), size_bits_(0) {}
+
+  BitReader(const std::uint64_t* words, std::size_t size_bits) noexcept
+      : words_(words), size_bits_(size_bits) {}
+
+  /// Reads `width` bits (0 <= width <= 64).
+  std::uint64_t read_bits(int width);
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Reads an Elias gamma code; result >= 1.
+  std::uint64_t read_gamma();
+
+  /// Reads an Elias delta code; result >= 1.
+  std::uint64_t read_delta();
+
+  /// Reads a shifted gamma code; result >= 0.
+  std::uint64_t read_gamma0() { return read_gamma() - 1; }
+
+  /// Reads a gamma-coded id-field width and validates it against the
+  /// 32-bit vertex-id ceiling. Every label decoder MUST use this (or an
+  /// equivalent check) for its width header: a corrupted label can
+  /// otherwise smuggle an arbitrary gamma value into a read_bits() width,
+  /// which is undefined past 64.
+  int read_id_width() {
+    const std::uint64_t w = read_gamma();
+    if (w > 32) throw DecodeError("BitReader: absurd id width");
+    return static_cast<int>(w);
+  }
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return size_bits_ - pos_; }
+  bool exhausted() const noexcept { return pos_ >= size_bits_; }
+
+ private:
+  const std::uint64_t* words_;
+  std::size_t size_bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace plg

@@ -1,0 +1,38 @@
+// Small bit-arithmetic helpers used throughout the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace plg {
+
+/// Number of bits needed to represent `x` (0 -> 0, 1 -> 1, 255 -> 8).
+constexpr int bit_width_u64(std::uint64_t x) noexcept {
+  return static_cast<int>(std::bit_width(x));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  return static_cast<int>(std::bit_width(x)) - 1;
+}
+
+/// ceil(log2(x)) for x >= 1 (log2(1) == 0).
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : static_cast<int>(std::bit_width(x - 1));
+}
+
+/// Width in bits of an identifier field able to hold values in [0, n).
+/// This is the `log n` of the paper's label layouts, made concrete:
+/// ceil(log2(n)) bits, and at least 1 so that n == 1 still has a field.
+constexpr int id_width(std::uint64_t n) noexcept {
+  const int w = ceil_log2(n);
+  return w == 0 ? 1 : w;
+}
+
+/// Round `bits` up to whole 64-bit words.
+constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+}  // namespace plg

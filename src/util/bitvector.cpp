@@ -1,0 +1,15 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace plg {
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+}  // namespace plg

@@ -1,0 +1,57 @@
+// Fixed-size packed bit vector.
+//
+// Used for fat-vertex adjacency rows (Theorems 3/4) and as a generic
+// dense set over vertex ids. Deliberately minimal: size fixed at
+// construction, O(1) get/set, popcount, and iteration over set bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plg {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n_bits)
+      : n_(n_bits), words_((n_bits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return n_; }
+
+  bool get(std::size_t i) const noexcept {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  void set(std::size_t i, bool v = true) noexcept {
+    if (v)
+      words_[i / 64] |= std::uint64_t{1} << (i % 64);
+    else
+      words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// Calls `fn(index)` for every set bit in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  bool operator==(const BitVector&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace plg

@@ -1,0 +1,28 @@
+// Error types shared across the plg library.
+//
+// Following the C++ Core Guidelines (E.14), we throw purpose-designed
+// exception types derived from the std hierarchy. API misuse and malformed
+// external input throw; internal invariants are guarded with assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plg {
+
+/// Thrown when a serialized label (or other bit-encoded input) cannot be
+/// parsed: truncated stream, impossible field value, wrong scheme tag.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an encoder is given a graph outside its supported family
+/// (for example a graph that exceeds the sparsity budget it was declared
+/// with), or when scheme parameters are out of their documented domain.
+class EncodeError : public std::runtime_error {
+ public:
+  explicit EncodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace plg

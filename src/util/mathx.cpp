@@ -1,0 +1,75 @@
+#include "util/mathx.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace plg {
+
+double fpow(double x, double alpha) { return std::pow(x, alpha); }
+
+double zeta_partial(double s, std::uint64_t m) {
+  double sum = 0.0;
+  // Sum smallest terms first for accuracy.
+  for (std::uint64_t k = m; k >= 1; --k) {
+    sum += std::pow(static_cast<double>(k), -s);
+    if (k == 1) break;
+  }
+  return sum;
+}
+
+double zeta_tail(double s, std::uint64_t a) {
+  assert(s > 1.0);
+  assert(a >= 1);
+  // Euler–Maclaurin: sum_{k=a}^{N-1} k^-s + N^{1-s}/(s-1) + N^-s/2
+  //   + s*N^{-s-1}/12 - s(s+1)(s+2)*N^{-s-3}/720 + ...
+  const std::uint64_t kN = a + 64;
+  double sum = 0.0;
+  for (std::uint64_t k = kN - 1; k >= a; --k) {
+    sum += std::pow(static_cast<double>(k), -s);
+    if (k == a) break;
+  }
+  const double N = static_cast<double>(kN);
+  sum += std::pow(N, 1.0 - s) / (s - 1.0);
+  sum += 0.5 * std::pow(N, -s);
+  sum += s / 12.0 * std::pow(N, -s - 1.0);
+  sum -= s * (s + 1.0) * (s + 2.0) / 720.0 * std::pow(N, -s - 3.0);
+  sum += s * (s + 1.0) * (s + 2.0) * (s + 3.0) * (s + 4.0) / 30240.0 *
+         std::pow(N, -s - 5.0);
+  return sum;
+}
+
+double riemann_zeta(double s) {
+  assert(s > 1.0);
+  return zeta_tail(s, 1);
+}
+
+std::uint64_t floor_root(std::uint64_t n, double alpha) {
+  assert(alpha > 0.0);
+  if (n == 0) return 0;
+  auto guess = static_cast<std::uint64_t>(
+      std::pow(static_cast<double>(n), 1.0 / alpha));
+  // Correct the floating-point guess by comparing integer powers. pow_ok(r)
+  // tests r^alpha <= n with a small safety window handled by stepping.
+  const auto fits = [&](std::uint64_t r) {
+    if (r == 0) return true;
+    const double p = std::pow(static_cast<double>(r), alpha);
+    return p <= static_cast<double>(n) * (1.0 + 1e-12);
+  };
+  while (guess > 0 && !fits(guess)) --guess;
+  while (fits(guess + 1)) ++guess;
+  return guess;
+}
+
+std::uint64_t ceil_root(std::uint64_t n, double alpha) {
+  if (n == 0) return 0;
+  const std::uint64_t f = floor_root(n, alpha);
+  const double p = std::pow(static_cast<double>(f), alpha);
+  // If f^alpha == n exactly (within tolerance), the root is integral.
+  if (std::abs(p - static_cast<double>(n)) <=
+      1e-9 * static_cast<double>(n)) {
+    return f;
+  }
+  return f + 1;
+}
+
+}  // namespace plg

@@ -1,0 +1,33 @@
+// Numeric kernels: Riemann zeta, truncated zeta tails, integer roots.
+//
+// The paper's constants C = 1/zeta(alpha) and C' (Section 3) and the
+// thresholds of Theorems 3/4 all reduce to these primitives.
+#pragma once
+
+#include <cstdint>
+
+namespace plg {
+
+/// Riemann zeta(s) for s > 1, accurate to ~1e-12 relative error.
+/// Computed as a partial sum plus an Euler–Maclaurin tail correction.
+double riemann_zeta(double s);
+
+/// Truncated sum  sum_{k=a}^{inf} k^{-s}  for s > 1, a >= 1.
+double zeta_tail(double s, std::uint64_t a);
+
+/// Partial sum  sum_{k=1}^{m} k^{-s}  for s > 0.
+double zeta_partial(double s, std::uint64_t m);
+
+/// floor(n^(1/alpha)) for real alpha > 0, computed robustly: the floating
+/// result is corrected by checking integer powers, so boundary cases
+/// (e.g. exact powers) round the right way.
+std::uint64_t floor_root(std::uint64_t n, double alpha);
+
+/// ceil(n^(1/alpha)).
+std::uint64_t ceil_root(std::uint64_t n, double alpha);
+
+/// x^alpha for x >= 0 (thin wrapper; kept here so call sites do not
+/// include <cmath> for one function and to centralise the pow policy).
+double fpow(double x, double alpha);
+
+}  // namespace plg

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random generation.
+//
+// All generators in plg_gen take an explicit Rng so that every graph, test
+// and benchmark is reproducible from a single 64-bit seed. The engine is
+// xoshiro256++ seeded through splitmix64 (the reference seeding procedure),
+// which is fast, high quality, and identical across platforms — unlike
+// std::mt19937 + std::uniform_int_distribution whose outputs are not
+// portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace plg {
+
+/// splitmix64 step; used for seeding and as a cheap mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ engine. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent child generator (for parallel streams).
+  Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Fisher–Yates shuffle with our portable Rng.
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const auto j = rng.next_below(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace plg

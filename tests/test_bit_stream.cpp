@@ -1,0 +1,203 @@
+#include "util/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+int floor_log2_local(std::uint64_t x) {
+  int l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+TEST(BitStream, SizeAccounting) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0, 0);  // zero-width write is a no-op
+  EXPECT_EQ(w.size_bits(), 4u);
+  w.write_bits(0xDEADBEEF, 32);
+  w.write_bit(true);
+  EXPECT_EQ(w.size_bits(), 37u);
+}
+
+TEST(BitStream, FixedWidthValues) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0xDEADBEEF, 32);
+  w.write_bit(true);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bits(32), 0xDEADBEEFu);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, MasksHighBits) {
+  BitWriter w;
+  // Writing a value wider than the field must keep only the low bits.
+  w.write_bits(0xFFFF, 4);
+  w.write_bits(0x1, 4);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_EQ(r.read_bits(4), 0xFu);
+  EXPECT_EQ(r.read_bits(4), 0x1u);
+}
+
+TEST(BitStream, CrossWordBoundary) {
+  BitWriter w;
+  w.write_bits(0x1FFF, 13);
+  w.write_bits(0xABCDEF0123456789ULL, 64);  // straddles the word boundary
+  w.write_bits(0x3F, 6);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_EQ(r.read_bits(13), 0x1FFFu);
+  EXPECT_EQ(r.read_bits(64), 0xABCDEF0123456789ULL);
+  EXPECT_EQ(r.read_bits(6), 0x3Fu);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  r.read_bits(3);
+  EXPECT_THROW(r.read_bit(), DecodeError);
+}
+
+TEST(BitStream, EmptyReaderThrows) {
+  BitReader r;
+  EXPECT_THROW(r.read_bit(), DecodeError);
+}
+
+TEST(BitStream, GammaCostFormula) {
+  // gamma(x) costs 2*floor(log2 x) + 1 bits.
+  for (const std::uint64_t x : {1ull, 2ull, 3ull, 4ull, 100ull, 65535ull}) {
+    BitWriter w;
+    w.write_gamma(x);
+    EXPECT_EQ(w.size_bits(),
+              static_cast<std::size_t>(2 * floor_log2_local(x) + 1))
+        << x;
+  }
+}
+
+TEST(BitStream, GammaRoundTripSweep) {
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t x = 1; x < 100000; x = x * 7 / 4 + 1) {
+    values.push_back(x);
+    w.write_gamma(x);
+  }
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  for (const auto x : values) {
+    EXPECT_EQ(r.read_gamma(), x);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, DeltaRoundTripSweep) {
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t x = 1; x < (1ull << 40); x = x * 5 / 2 + 1) {
+    values.push_back(x);
+    w.write_delta(x);
+  }
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  for (const auto x : values) {
+    EXPECT_EQ(r.read_delta(), x);
+  }
+}
+
+TEST(BitStream, DeltaShorterThanGammaForLargeValues) {
+  BitWriter wg;
+  BitWriter wd;
+  wg.write_gamma(1 << 20);
+  wd.write_delta(1 << 20);
+  EXPECT_LT(wd.size_bits(), wg.size_bits());
+}
+
+TEST(BitStream, Gamma0EncodesZero) {
+  BitWriter w;
+  w.write_gamma0(0);
+  w.write_gamma0(41);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_EQ(r.read_gamma0(), 0u);
+  EXPECT_EQ(r.read_gamma0(), 41u);
+}
+
+TEST(BitStream, MixedRandomizedRoundTrip) {
+  // Property test: random interleavings of field kinds survive a
+  // write/read round trip bit-exactly.
+  Rng rng(12345);
+  for (int iter = 0; iter < 50; ++iter) {
+    BitWriter w;
+    struct Field {
+      int kind;  // 0 fixed, 1 gamma, 2 delta
+      int width;
+      std::uint64_t value;
+    };
+    std::vector<Field> fields;
+    for (int i = 0; i < 200; ++i) {
+      Field f{0, 0, 0};
+      f.kind = static_cast<int>(rng.next_below(3));
+      if (f.kind == 0) {
+        f.width = static_cast<int>(rng.next_in(1, 64));
+        f.value = rng() & (f.width == 64 ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << f.width) - 1);
+        w.write_bits(f.value, f.width);
+      } else {
+        f.value = rng.next_in(1, 1u << 30);
+        if (f.kind == 1) {
+          w.write_gamma(f.value);
+        } else {
+          w.write_delta(f.value);
+        }
+      }
+      fields.push_back(f);
+    }
+    const auto& words = w.words();
+    BitReader r(words.data(), w.size_bits());
+    for (const Field& f : fields) {
+      if (f.kind == 0) {
+        ASSERT_EQ(r.read_bits(f.width), f.value);
+      } else if (f.kind == 1) {
+        ASSERT_EQ(r.read_gamma(), f.value);
+      } else {
+        ASSERT_EQ(r.read_delta(), f.value);
+      }
+    }
+    ASSERT_TRUE(r.exhausted());
+  }
+}
+
+TEST(BitStream, TruncatedGammaThrows) {
+  BitWriter w;
+  w.write_bits(0, 10);  // ten zeros: a gamma prefix whose stop bit is missing
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_THROW(r.read_gamma(), DecodeError);
+}
+
+TEST(BitStream, PositionTracking) {
+  BitWriter w;
+  w.write_gamma(7);
+  w.write_bits(0, 11);
+  const auto& words = w.words();
+  BitReader r(words.data(), w.size_bits());
+  EXPECT_EQ(r.position(), 0u);
+  r.read_gamma();
+  EXPECT_EQ(r.position(), 5u);  // gamma(7) = 2*2+1 bits
+  EXPECT_EQ(r.remaining(), 11u);
+}
+
+}  // namespace
+}  // namespace plg

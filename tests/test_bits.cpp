@@ -1,0 +1,68 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace plg {
+namespace {
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+  EXPECT_EQ(bit_width_u64(~std::uint64_t{0}), 64);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2((std::uint64_t{1} << 40) + 1), 41);
+}
+
+TEST(Bits, FloorCeilRelation) {
+  for (std::uint64_t x = 1; x < 10000; ++x) {
+    const bool pow2 = (x & (x - 1)) == 0;
+    if (pow2) {
+      EXPECT_EQ(floor_log2(x), ceil_log2(x)) << x;
+    } else {
+      EXPECT_EQ(floor_log2(x) + 1, ceil_log2(x)) << x;
+    }
+  }
+}
+
+TEST(Bits, IdWidthHoldsAllIds) {
+  for (std::uint64_t n = 1; n < 5000; n = n * 3 / 2 + 1) {
+    const int w = id_width(n);
+    ASSERT_GE(w, 1);
+    // Every id in [0, n) fits in w bits.
+    EXPECT_LT(n - 1, std::uint64_t{1} << w) << n;
+    // And w is tight (except the n == 1 floor of one bit).
+    if (n > 2) {
+      EXPECT_GE(n - 1, std::uint64_t{1} << (w - 1)) << n;
+    }
+  }
+}
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+}  // namespace
+}  // namespace plg

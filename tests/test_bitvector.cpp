@@ -1,0 +1,74 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+TEST(BitVector, SetGetClear) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.get(i));
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(129));
+  EXPECT_FALSE(bv.get(1));
+  bv.set(64, false);
+  EXPECT_FALSE(bv.get(64));
+}
+
+TEST(BitVector, Popcount) {
+  BitVector bv(1000);
+  EXPECT_EQ(bv.popcount(), 0u);
+  for (std::size_t i = 0; i < 1000; i += 7) bv.set(i);
+  EXPECT_EQ(bv.popcount(), (1000 + 6) / 7);
+}
+
+TEST(BitVector, ForEachSetVisitsInOrder) {
+  BitVector bv(300);
+  std::vector<std::size_t> want = {0, 1, 63, 64, 65, 128, 299};
+  for (const auto i : want) bv.set(i);
+  std::vector<std::size_t> got;
+  bv.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, RandomizedAgainstReference) {
+  Rng rng(99);
+  BitVector bv(777);
+  std::vector<bool> ref(777, false);
+  for (int step = 0; step < 5000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.next_below(777));
+    const bool v = rng.next_bool(0.5);
+    bv.set(i, v);
+    ref[i] = v;
+  }
+  std::size_t want_pop = 0;
+  for (std::size_t i = 0; i < 777; ++i) {
+    ASSERT_EQ(bv.get(i), ref[i]) << i;
+    want_pop += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bv.popcount(), want_pop);
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(10);
+  BitVector b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,77 @@
+// Theorem bounds as parameterized properties over a (n, alpha, workload)
+// grid — the library's strongest executable statement of Theorems 3/4:
+// at power-of-two n (where the formulas' log n equals our labels' actual
+// id width), the measured max label never exceeds the closed-form bound
+// plus the documented self-delimiting-header slack.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/schemes.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/pl_sequence.h"
+#include "powerlaw/family.h"
+#include "powerlaw/threshold.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+constexpr double kHeaderSlackBits = 64.0;
+
+using SweepParam = std::tuple<unsigned /*lg n*/, double /*alpha*/,
+                              std::string /*workload*/>;
+
+class BoundsSweepTest : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(BoundsSweepTest, Theorem4MaxLabelWithinBound) {
+  const auto& [lg, alpha, workload] = GetParam();
+  const std::uint64_t n = std::uint64_t{1} << lg;
+  Rng rng(lg * 1000 + static_cast<std::uint64_t>(alpha * 10));
+  Graph g;
+  if (workload == "pl_exact") {
+    g = pl_graph(n, alpha);
+  } else if (workload == "chung_lu") {
+    g = chung_lu_power_law(n, alpha, 5.0, rng);
+  } else {
+    g = config_model_power_law(n, alpha, rng);
+  }
+  // Theorem 4's bound is guaranteed for members of P_h with the
+  // canonical C'. Random graphs are members with overwhelming
+  // probability at these sizes; assert membership so a failure points
+  // at the right culprit.
+  ASSERT_TRUE(check_Ph(g, alpha).member);
+  PowerLawScheme scheme(alpha);
+  const auto stats = scheme.encode(g).stats();
+  EXPECT_LE(static_cast<double>(stats.max_bits),
+            bound_power_law_bits(n, alpha) + kHeaderSlackBits);
+}
+
+TEST_P(BoundsSweepTest, Theorem3MaxLabelWithinBound) {
+  const auto& [lg, alpha, workload] = GetParam();
+  if (workload != "chung_lu") GTEST_SKIP();  // one workload suffices
+  const std::uint64_t n = std::uint64_t{1} << lg;
+  Rng rng(lg * 2000 + static_cast<std::uint64_t>(alpha * 10));
+  const Graph g = chung_lu_power_law(n, alpha, 5.0, rng);
+  const double c = std::max(1.0, g.sparsity());
+  SparseScheme scheme(c);
+  const auto stats = scheme.encode(g).stats();
+  EXPECT_LE(static_cast<double>(stats.max_bits),
+            bound_sparse_bits(n, c) + kHeaderSlackBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundsSweepTest,
+    testing::Combine(testing::Values(10u, 12u, 14u, 16u),
+                     testing::Values(2.1, 2.5, 3.0),
+                     testing::Values("pl_exact", "chung_lu", "config")),
+    [](const auto& info) {
+      return "lg" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_" + std::get<2>(info.param);
+    });
+
+}  // namespace
+}  // namespace plg

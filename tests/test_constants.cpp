@@ -1,0 +1,88 @@
+#include "powerlaw/constants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace plg {
+namespace {
+
+TEST(Constants, CIsInverseZeta) {
+  for (const double a : {1.5, 2.0, 2.1, 2.5, 3.0, 4.0}) {
+    EXPECT_NEAR(pl_C(a) * riemann_zeta(a), 1.0, 1e-12) << a;
+  }
+  // Sanity: C(2) = 6/pi^2 ~ 0.6079.
+  EXPECT_NEAR(pl_C(2.0), 0.6079271018540267, 1e-10);
+}
+
+TEST(Constants, I1Definition) {
+  // i1 is the smallest i with floor(C n / i^alpha) <= 1.
+  for (const double a : {2.1, 2.5, 3.0}) {
+    for (const std::uint64_t n : {1000ull, 10000ull, 1000000ull}) {
+      const std::uint64_t i1 = pl_i1(n, a);
+      const double C = pl_C(a);
+      EXPECT_LE(std::floor(C * static_cast<double>(n) /
+                           std::pow(static_cast<double>(i1), a)),
+                1.0)
+          << "n=" << n << " a=" << a;
+      if (i1 > 1) {
+        EXPECT_GT(std::floor(C * static_cast<double>(n) /
+                             std::pow(static_cast<double>(i1 - 1), a)),
+                  1.0)
+            << "n=" << n << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(Constants, I1IsThetaRootN) {
+  // i1 / n^{1/alpha} stays within constant factors as n grows.
+  const double a = 2.5;
+  for (const std::uint64_t n : {1u << 10, 1u << 14, 1u << 18, 1u << 22}) {
+    const double ratio = static_cast<double>(pl_i1(n, a)) /
+                         std::pow(static_cast<double>(n), 1.0 / a);
+    EXPECT_GT(ratio, 0.5) << n;
+    EXPECT_LT(ratio, 1.5) << n;
+  }
+}
+
+TEST(Constants, CprimeMatchesFormula) {
+  const std::uint64_t n = 100000;
+  const double a = 2.5;
+  const double C = pl_C(a);
+  const double i1 = static_cast<double>(pl_i1(n, a));
+  const double base =
+      C / (a - 1.0) + i1 / std::pow(static_cast<double>(n), 1.0 / a) + 5.0;
+  const double want = std::pow(base, a) + C / (a - 1.0);
+  EXPECT_NEAR(pl_Cprime(n, a), want, 1e-9);
+}
+
+TEST(Constants, CprimeIsModerateConstant) {
+  // C' should be a constant (independent of n up to the i1/n^{1/a} term,
+  // which converges): check stability across two decades.
+  const double a = 2.5;
+  const double c1 = pl_Cprime(10000, a);
+  const double c2 = pl_Cprime(1000000, a);
+  EXPECT_GT(c1, 1.0);
+  EXPECT_LT(std::abs(c1 - c2) / c1, 0.2);
+}
+
+TEST(Constants, IdealBucket) {
+  EXPECT_NEAR(pl_ideal_bucket(1000, 2.0, 1), pl_C(2.0) * 1000.0, 1e-9);
+  EXPECT_NEAR(pl_ideal_bucket(1000, 2.0, 10),
+              pl_C(2.0) * 1000.0 / 100.0, 1e-9);
+}
+
+TEST(Constants, MaxDegreeBoundGrowsAsRootN) {
+  const double a = 3.0;
+  const double b1 = pl_max_degree_bound(1000, a);
+  const double b2 = pl_max_degree_bound(8 * 1000, a);
+  // n -> 8n should roughly double an n^{1/3} bound.
+  EXPECT_GT(b2 / b1, 1.5);
+  EXPECT_LT(b2 / b1, 2.5);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,126 @@
+#include "graph/degree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+Graph star_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+TEST(Degree, SequenceAndHistogram) {
+  const Graph g = star_graph(5);
+  const auto seq = degree_sequence(g);
+  EXPECT_EQ(seq, (std::vector<std::uint64_t>{4, 1, 1, 1, 1}));
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(Degree, Distribution) {
+  const Graph g = star_graph(5);
+  const auto dist = degree_distribution(g);
+  EXPECT_DOUBLE_EQ(dist[1], 0.8);
+  EXPECT_DOUBLE_EQ(dist[4], 0.2);
+}
+
+TEST(Degree, TailCounts) {
+  const Graph g = star_graph(5);
+  const auto tail = degree_tail_counts(degree_histogram(g));
+  // tail[k] = #vertices with degree >= k
+  EXPECT_EQ(tail[0], 5u);
+  EXPECT_EQ(tail[1], 5u);
+  EXPECT_EQ(tail[2], 1u);
+  EXPECT_EQ(tail[4], 1u);
+  EXPECT_EQ(tail[5], 0u);
+}
+
+TEST(ErdosGallai, SimpleCases) {
+  EXPECT_TRUE(erdos_gallai(std::vector<std::uint64_t>{}));
+  EXPECT_TRUE(erdos_gallai(std::vector<std::uint64_t>{0, 0}));
+  EXPECT_TRUE(erdos_gallai(std::vector<std::uint64_t>{1, 1}));
+  EXPECT_TRUE(erdos_gallai(std::vector<std::uint64_t>{2, 2, 2}));      // C3
+  EXPECT_TRUE(erdos_gallai(std::vector<std::uint64_t>{3, 3, 3, 3}));   // K4
+  EXPECT_FALSE(erdos_gallai(std::vector<std::uint64_t>{1}));           // odd
+  EXPECT_FALSE(erdos_gallai(std::vector<std::uint64_t>{3, 1, 1}));     // d>=n
+  EXPECT_FALSE(erdos_gallai(std::vector<std::uint64_t>{3, 3, 1, 1}));
+}
+
+TEST(ErdosGallai, AcceptsRealGraphDegrees) {
+  Rng rng(53);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Graph g = erdos_renyi_gnm(50, 100, rng);
+    EXPECT_TRUE(erdos_gallai(degree_sequence(g)));
+  }
+}
+
+TEST(HavelHakimi, RealizesExactSequence) {
+  const std::vector<std::uint64_t> degrees{3, 3, 2, 2, 2, 1, 1};
+  ASSERT_TRUE(erdos_gallai(degrees));
+  const Graph g = havel_hakimi(degrees);
+  EXPECT_EQ(degree_sequence(g), degrees);
+}
+
+TEST(HavelHakimi, RegularGraphs) {
+  for (const std::uint64_t d : {2ull, 3ull, 4ull}) {
+    std::vector<std::uint64_t> degrees(10, d);
+    const Graph g = havel_hakimi(degrees);
+    EXPECT_EQ(degree_sequence(g), degrees) << "d=" << d;
+  }
+}
+
+TEST(HavelHakimi, RealizesStar) {
+  // {3,1,1,1} is the star K_{1,3}.
+  const std::vector<std::uint64_t> degrees{3, 1, 1, 1};
+  EXPECT_EQ(degree_sequence(havel_hakimi(degrees)), degrees);
+}
+
+TEST(HavelHakimi, RejectsNonGraphical) {
+  EXPECT_THROW(havel_hakimi(std::vector<std::uint64_t>{3, 3, 1, 1}),
+               EncodeError);
+  EXPECT_THROW(havel_hakimi(std::vector<std::uint64_t>{4, 4, 4, 1, 1}),
+               EncodeError);
+  EXPECT_THROW(havel_hakimi(std::vector<std::uint64_t>{5, 1}), EncodeError);
+  EXPECT_THROW(havel_hakimi(std::vector<std::uint64_t>{1}), EncodeError);
+}
+
+TEST(HavelHakimi, EmptyAndZeroSequences) {
+  EXPECT_EQ(havel_hakimi(std::vector<std::uint64_t>{}).num_vertices(), 0u);
+  const Graph g = havel_hakimi(std::vector<std::uint64_t>{0, 0, 0});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(HavelHakimi, RoundTripRandomGraphDegrees) {
+  // Degrees of a real graph are always graphical; HH must realize them.
+  Rng rng(59);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Graph g = erdos_renyi_gnm(60, 150, rng);
+    const auto degrees = degree_sequence(g);
+    const Graph h = havel_hakimi(degrees);
+    EXPECT_EQ(degree_sequence(h), degrees);
+  }
+}
+
+TEST(HavelHakimi, HeavyTailSequence) {
+  // A power-law-ish sequence: one hub plus many leaves.
+  std::vector<std::uint64_t> degrees{20};
+  for (int i = 0; i < 30; ++i) degrees.push_back(1);
+  degrees.push_back(10);  // sum = 20 + 30 + 10 = 60, even
+  const Graph g = havel_hakimi(degrees);
+  EXPECT_EQ(degree_sequence(g), degrees);
+}
+
+}  // namespace
+}  // namespace plg

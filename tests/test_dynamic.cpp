@@ -1,0 +1,273 @@
+// Dynamic thin/fat scheme (future-work extension): correctness under
+// incremental growth, promotion behaviour, and the re-label accounting
+// analysis (<= 2 relabels per edge insertion, promotions folded in).
+#include "core/dynamic_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "core/thin_fat.h"
+#include "gen/ba.h"
+#include "gen/erdos_renyi.h"
+#include "powerlaw/threshold.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+/// Replays a static graph's edges into a DynamicScheme in a given order.
+DynamicScheme replay(const Graph& g, std::uint64_t tau,
+                     std::span<const Edge> order) {
+  DynamicScheme dyn(g.num_vertices(), tau);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) dyn.add_vertex();
+  for (const Edge& e : order) dyn.add_edge(e.u, e.v);
+  return dyn;
+}
+
+void expect_matches_graph(const DynamicScheme& dyn, const Graph& g) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(DynamicScheme::adjacent(dyn.label(u), dyn.label(v)),
+                g.has_edge(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(Dynamic, MatchesStaticGraphAfterReplay) {
+  Rng rng(503);
+  for (int iter = 0; iter < 6; ++iter) {
+    const Graph g = erdos_renyi_gnm(50, 160, rng);
+    auto edges = g.edge_list();
+    shuffle(edges.begin(), edges.end(), rng);
+    const auto dyn = replay(g, 5, edges);
+    expect_matches_graph(dyn, g);
+  }
+}
+
+TEST(Dynamic, InsertionOrderIrrelevant) {
+  Rng rng(509);
+  const Graph g = erdos_renyi_gnm(40, 120, rng);
+  auto order1 = g.edge_list();
+  auto order2 = order1;
+  shuffle(order2.begin(), order2.end(), rng);
+  const auto a = replay(g, 4, order1);
+  const auto b = replay(g, 4, order2);
+  // Decoded adjacency must agree regardless of promotion order.
+  for (Vertex u = 0; u < 40; ++u) {
+    for (Vertex v = 0; v < 40; ++v) {
+      ASSERT_EQ(DynamicScheme::adjacent(a.label(u), a.label(v)),
+                DynamicScheme::adjacent(b.label(u), b.label(v)));
+    }
+  }
+}
+
+TEST(Dynamic, PromotionHappensAtThreshold) {
+  DynamicScheme dyn(10, 3);
+  for (int i = 0; i < 10; ++i) dyn.add_vertex();
+  dyn.add_edge(0, 1);
+  dyn.add_edge(0, 2);
+  EXPECT_EQ(dyn.num_fat(), 0u);
+  dyn.add_edge(0, 3);  // degree 3 == tau -> promote
+  EXPECT_EQ(dyn.num_fat(), 1u);
+  EXPECT_EQ(dyn.stats().promotions, 1u);
+  // Still decodes correctly across the promotion boundary.
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(3)));
+  EXPECT_FALSE(DynamicScheme::adjacent(dyn.label(1), dyn.label(2)));
+}
+
+TEST(Dynamic, FatFatAcrossPromotionOrder) {
+  // u fat first, then v promoted later via other edges, then edge (u,v):
+  // both directions of the OR rule get exercised.
+  DynamicScheme dyn(20, 2);
+  for (int i = 0; i < 20; ++i) dyn.add_vertex();
+  dyn.add_edge(0, 10);
+  dyn.add_edge(0, 11);  // 0 fat (rank 0)
+  dyn.add_edge(1, 12);
+  dyn.add_edge(1, 13);  // 1 fat (rank 1)
+  EXPECT_EQ(dyn.num_fat(), 2u);
+  EXPECT_FALSE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  dyn.add_edge(0, 1);  // fat-fat edge after both promotions
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(1), dyn.label(0)));
+
+  // Promotion of a neighbor after the fat vertex's last rewrite: 2 is
+  // adjacent to 0 while thin, then becomes fat; 0's row was written
+  // before 2 had a rank, so only 2's row holds the bit (the OR rule).
+  dyn.add_edge(2, 0);
+  EXPECT_EQ(dyn.num_fat(), 2u);
+  dyn.add_edge(2, 14);  // 2 fat now (rank 2)
+  EXPECT_EQ(dyn.num_fat(), 3u);
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(2)));
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(2), dyn.label(0)));
+}
+
+TEST(Dynamic, RelabelAccounting) {
+  // The analysis the paper asks for: exactly 2 relabels per successful
+  // edge insertion (promotions folded in), none for duplicates.
+  Rng rng(521);
+  const Graph g = erdos_renyi_gnm(100, 300, rng);
+  const auto edges = g.edge_list();
+  DynamicScheme dyn(100, 6);
+  for (int i = 0; i < 100; ++i) dyn.add_vertex();
+  for (const Edge& e : edges) EXPECT_TRUE(dyn.add_edge(e.u, e.v));
+  for (const Edge& e : edges) EXPECT_FALSE(dyn.add_edge(e.u, e.v));  // dups
+  EXPECT_FALSE(dyn.add_edge(3, 3));  // self-loop
+  EXPECT_EQ(dyn.stats().edge_insertions, edges.size());
+  EXPECT_EQ(dyn.stats().relabels, 2 * edges.size());
+  EXPECT_GT(dyn.stats().bytes_rewritten, 0u);
+}
+
+TEST(Dynamic, LabelSizesMatchStaticEngine) {
+  // After replaying the whole graph, dynamic labels should be within a
+  // constant of the static thin/fat labels at the same tau (same layout
+  // up to the rank/row-length fields).
+  Rng rng(523);
+  const Graph g = erdos_renyi_gnm(500, 2000, rng);
+  const std::uint64_t tau = 12;
+  const auto dyn = replay(g, tau, g.edge_list());
+  const auto dyn_stats = dyn.snapshot().stats();
+  const auto static_stats = thin_fat_encode(g, tau).labeling.stats();
+  EXPECT_LE(dyn_stats.max_bits, static_stats.max_bits + 64);
+  EXPECT_GE(dyn_stats.max_bits + 64, static_stats.max_bits);
+}
+
+TEST(Dynamic, BaGrowthProcess) {
+  // Grow a BA graph through the dynamic scheme — the natural incremental
+  // workload (each arriving vertex brings m edges).
+  Rng rng(541);
+  const std::size_t n = 600;
+  const BaGraph ba = generate_ba(n, 3, rng);
+  DynamicScheme dyn(n, tau_power_law(n, 3.0, 1.0));
+  for (Vertex v = 0; v < n; ++v) dyn.add_vertex();
+  // Replay in arrival order: seed clique then insertion lists.
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = u + 1; v < 4; ++v) dyn.add_edge(u, v);
+  }
+  for (Vertex v = 4; v < n; ++v) {
+    for (const Vertex t : ba.insertion_targets[v]) dyn.add_edge(v, t);
+  }
+  expect_matches_graph(dyn, ba.graph);
+}
+
+TEST(Dynamic, RemoveEdgeBasics) {
+  DynamicScheme dyn(6, 3);
+  for (int i = 0; i < 6; ++i) dyn.add_vertex();
+  dyn.add_edge(0, 1);
+  dyn.add_edge(0, 2);
+  dyn.add_edge(0, 3);  // 0 promoted
+  EXPECT_EQ(dyn.num_fat(), 1u);
+  EXPECT_TRUE(dyn.remove_edge(0, 1));
+  EXPECT_FALSE(dyn.remove_edge(0, 1));  // already gone
+  EXPECT_FALSE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(2)));
+  // degree 2 >= tau/2 = 1: still fat (hysteresis).
+  EXPECT_EQ(dyn.num_fat(), 1u);
+  dyn.remove_edge(0, 2);
+  dyn.remove_edge(0, 3);  // degree 0 < 1: demoted
+  EXPECT_EQ(dyn.num_fat(), 0u);
+  EXPECT_EQ(dyn.stats().demotions, 1u);
+  EXPECT_EQ(dyn.num_edges(), 0u);
+}
+
+TEST(Dynamic, DemotionAndRepromotionStayCorrect) {
+  // x promoted, demoted, repromoted with a fresh rank; fat-fat pairs
+  // across the churn must keep decoding via the OR rule.
+  DynamicScheme dyn(30, 4);
+  for (int i = 0; i < 30; ++i) dyn.add_vertex();
+  // Make 0 and 1 fat and adjacent.
+  for (Vertex t = 10; t < 13; ++t) dyn.add_edge(0, t);
+  dyn.add_edge(0, 1);
+  for (Vertex t = 13; t < 16; ++t) dyn.add_edge(1, t);
+  EXPECT_EQ(dyn.num_fat(), 2u);
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  // Demote 0 (degree below tau/2 = 2): drop to one neighbor (vertex 1).
+  for (Vertex t = 10; t < 13; ++t) dyn.remove_edge(0, t);
+  EXPECT_EQ(dyn.num_fat(), 1u);
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(1), dyn.label(0)));
+  // Repromote 0: fresh rank; fat-fat again.
+  for (Vertex t = 16; t < 19; ++t) dyn.add_edge(0, t);
+  EXPECT_EQ(dyn.num_fat(), 2u);
+  EXPECT_EQ(dyn.stats().promotions, 3u);  // 0 twice, 1 once
+  EXPECT_TRUE(DynamicScheme::adjacent(dyn.label(0), dyn.label(1)));
+  EXPECT_FALSE(DynamicScheme::adjacent(dyn.label(0), dyn.label(2)));
+}
+
+TEST(Dynamic, ChurnMatchesReferenceGraph) {
+  // Random interleaved insert/delete churn; after every batch the labels
+  // must agree with a reference adjacency structure on sampled pairs,
+  // and relabels stay at exactly 2 per successful update.
+  Rng rng(557);
+  const std::size_t n = 120;
+  DynamicScheme dyn(n, 5);
+  for (std::size_t i = 0; i < n; ++i) dyn.add_vertex();
+  std::vector<std::vector<bool>> ref(n, std::vector<bool>(n, false));
+  std::size_t successful = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    if (rng.next_bool(0.6)) {
+      if (dyn.add_edge(u, v)) {
+        ref[u][v] = ref[v][u] = true;
+        ++successful;
+      }
+    } else {
+      if (dyn.remove_edge(u, v)) {
+        ref[u][v] = ref[v][u] = false;
+        ++successful;
+      }
+    }
+    if (step % 500 == 0) {
+      for (int q = 0; q < 300; ++q) {
+        const auto a = static_cast<Vertex>(rng.next_below(n));
+        const auto b = static_cast<Vertex>(rng.next_below(n));
+        ASSERT_EQ(DynamicScheme::adjacent(dyn.label(a), dyn.label(b)),
+                  a != b && ref[a][b])
+            << "step " << step << " pair " << a << "," << b;
+      }
+    }
+  }
+  EXPECT_EQ(dyn.stats().relabels, 2 * successful);
+  // Full final audit.
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = 0; b < n; ++b) {
+      ASSERT_EQ(DynamicScheme::adjacent(dyn.label(a), dyn.label(b)),
+                a != b && ref[a][b]);
+    }
+  }
+}
+
+TEST(Dynamic, CapacityAndRangeErrors) {
+  DynamicScheme dyn(2, 2);
+  dyn.add_vertex();
+  dyn.add_vertex();
+  EXPECT_THROW(dyn.add_vertex(), EncodeError);
+  EXPECT_THROW(dyn.add_edge(0, 5), EncodeError);
+  EXPECT_THROW(DynamicScheme(0, 1), EncodeError);
+  EXPECT_THROW(DynamicScheme(5, 0), EncodeError);
+}
+
+TEST(Dynamic, MixedWidthLabelsRejected) {
+  DynamicScheme small(10, 2);
+  DynamicScheme big(1000, 2);
+  small.add_vertex();
+  big.add_vertex();
+  EXPECT_THROW(DynamicScheme::adjacent(small.label(0), big.label(0)),
+               DecodeError);
+}
+
+TEST(Dynamic, IsolatedVerticesDecode) {
+  DynamicScheme dyn(5, 2);
+  for (int i = 0; i < 5; ++i) dyn.add_vertex();
+  for (Vertex u = 0; u < 5; ++u) {
+    for (Vertex v = 0; v < 5; ++v) {
+      EXPECT_FALSE(DynamicScheme::adjacent(dyn.label(u), dyn.label(v)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plg

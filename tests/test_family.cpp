@@ -1,0 +1,151 @@
+// Tests of the P_h / P_l family checkers, including the paper's
+// propositions as executable properties:
+//   Prop. 1 — max degree of P_l graphs is <= (C/(a-1)+2) n^{1/a} + i1 + 3
+//   Prop. 2 — P_l graphs are sparse for alpha > 2
+//   Prop. 3 — P_l is contained in P_h
+#include "powerlaw/family.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "gen/pl_sequence.h"
+#include "graph/degree.h"
+#include "powerlaw/constants.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+class PlFamilyTest : public testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(PlFamilyTest, PlGraphPassesChecker) {
+  const auto [n, alpha] = GetParam();
+  const Graph g = pl_graph(n, alpha);
+  const auto report = check_Pl(g, alpha);
+  EXPECT_TRUE(report.member) << report.violation;
+}
+
+TEST_P(PlFamilyTest, Proposition3_PlContainedInPh) {
+  const auto [n, alpha] = GetParam();
+  const Graph g = pl_graph(n, alpha);
+  const auto report = check_Ph(g, alpha);
+  EXPECT_TRUE(report.member) << report.violation;
+  EXPECT_LE(report.worst_ratio, 1.0);
+}
+
+TEST_P(PlFamilyTest, Proposition1_MaxDegreeBound) {
+  const auto [n, alpha] = GetParam();
+  const Graph g = pl_graph(n, alpha);
+  EXPECT_LE(static_cast<double>(g.max_degree()),
+            pl_max_degree_bound(n, alpha));
+}
+
+TEST_P(PlFamilyTest, Proposition2_SparseForAlphaAbove2) {
+  const auto [n, alpha] = GetParam();
+  if (alpha <= 2.0) GTEST_SKIP();
+  const Graph g = pl_graph(n, alpha);
+  // |E| <= (1 + C*zeta(alpha-1)) * n is the proof's O(n); check with a
+  // generous constant.
+  EXPECT_LT(g.sparsity(), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlFamilyTest,
+    testing::Combine(testing::Values<std::uint64_t>(512, 2048, 10000, 50000),
+                     testing::Values(2.1, 2.5, 3.0)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+TEST(Family, PhRejectsDenseTail) {
+  // A clique has n-1 vertices of degree n-1: the tail bound at k = n-1
+  // forces ~C' n^{2-alpha} >= n, impossible for alpha > 2 and large n.
+  GraphBuilder b(64);
+  for (Vertex u = 0; u < 64; ++u) {
+    for (Vertex v = u + 1; v < 64; ++v) b.add_edge(u, v);
+  }
+  const Graph g = b.build();
+  const auto report = check_Ph(g, 3.0);
+  EXPECT_FALSE(report.member);
+  EXPECT_FALSE(report.violation.empty());
+  EXPECT_GT(report.worst_ratio, 1.0);
+}
+
+TEST(Family, PhAcceptsEdgeless) {
+  GraphBuilder b(100);
+  const auto report = check_Ph(b.build(), 2.5);
+  EXPECT_TRUE(report.member);
+}
+
+TEST(Family, PlRejectsErdosRenyi) {
+  // Binomial degrees concentrate around the mean; bucket 1 is far from
+  // C*n, so condition 1 fails.
+  Rng rng(67);
+  const Graph g = erdos_renyi_gnm(2000, 8000, rng);
+  const auto report = check_Pl(g, 2.5);
+  EXPECT_FALSE(report.member);
+}
+
+TEST(Family, PlRejectsMonotonicityViolation) {
+  // Hand-build a graph with |V_2| < |V_3|: many triangles, few paths.
+  GraphBuilder b(14);
+  // Three disjoint triangles with an extra chord each -> degrees 2,2,2...
+  // Simpler: 4 vertices of degree 3 (K4), rest degree 1 pairs.
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  }
+  for (Vertex v = 4; v < 14; v += 2) b.add_edge(v, v + 1);
+  const auto report = check_Pl(b.build(), 2.5);
+  EXPECT_FALSE(report.member);
+}
+
+TEST(Family, EmptyGraphIsVacuouslyMember) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_TRUE(check_Ph(g, 2.5).member);
+  EXPECT_TRUE(check_Pl(g, 2.5).member);
+}
+
+TEST(Family, PowerLawBoundedAcceptsPlGraphs) {
+  // Section 3.1: P_l is contained in the power-law bounded family for
+  // t = O(1) and suitable c1.
+  const Graph g = pl_graph(20000, 2.5);
+  const auto report = check_power_law_bounded(g, 2.5, 0.0, 4.0);
+  EXPECT_TRUE(report.member) << report.violation;
+}
+
+TEST(Family, PowerLawBoundedRejectsClique) {
+  GraphBuilder b(64);
+  for (Vertex u = 0; u < 64; ++u) {
+    for (Vertex v = u + 1; v < 64; ++v) b.add_edge(u, v);
+  }
+  const auto report = check_power_law_bounded(b.build(), 3.0, 0.0, 2.0);
+  EXPECT_FALSE(report.member);
+}
+
+TEST(Family, ChiCutoffRelaxesPh) {
+  // A graph violating the tail bound only below the cutoff must pass once
+  // chi(n) exceeds the violating degree.
+  // Build: 40 vertices of degree 3 on n = 64 (tail at k=3 too big for a
+  // small C'), fine above.
+  GraphBuilder b(64);
+  // 10 disjoint K4s -> 40 vertices of degree 3.
+  for (int c = 0; c < 10; ++c) {
+    const Vertex base = static_cast<Vertex>(4 * c);
+    for (Vertex u = 0; u < 4; ++u) {
+      for (Vertex v = u + 1; v < 4; ++v) {
+        b.add_edge(base + u, base + v);
+      }
+    }
+  }
+  const Graph g = b.build();
+  const double c_prime = 0.9;  // deliberately strict
+  const auto strict = check_Ph(g, 2.5, 1, c_prime);
+  const auto relaxed = check_Ph(g, 2.5, 4, c_prime);
+  EXPECT_FALSE(strict.member);
+  EXPECT_TRUE(relaxed.member) << relaxed.violation;
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,99 @@
+#include "powerlaw/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+TEST(Fit, MleRecoversAlphaFromZetaSamples) {
+  Rng rng(71);
+  for (const double alpha : {2.1, 2.5, 3.0, 3.5}) {
+    const auto degrees = sample_zeta_degrees(200000, alpha, 0, rng);
+    const double fitted = fit_alpha_mle(degrees, 1);
+    EXPECT_NEAR(fitted, alpha, 0.05) << alpha;
+  }
+}
+
+TEST(Fit, MleWithXminIgnoresHead) {
+  Rng rng(73);
+  // Contaminate the head: replace all degree-1 samples with degree 3.
+  auto degrees = sample_zeta_degrees(100000, 2.5, 0, rng);
+  for (auto& d : degrees) {
+    if (d == 1) d = 3;
+  }
+  // Fitting from x_min = 4 should still recover alpha.
+  const double fitted = fit_alpha_mle(degrees, 4);
+  EXPECT_NEAR(fitted, 2.5, 0.12);
+}
+
+TEST(Fit, ContinuousApproxClose) {
+  Rng rng(79);
+  const auto degrees = sample_zeta_degrees(100000, 2.5, 0, rng);
+  const double cont = fit_alpha_continuous(degrees, 2);
+  // The continuous estimator is biased for discrete data but should land
+  // in the neighbourhood.
+  EXPECT_NEAR(cont, 2.5, 0.35);
+}
+
+TEST(Fit, KsDistanceSmallForTrueAlpha) {
+  Rng rng(83);
+  const auto degrees = sample_zeta_degrees(50000, 2.5, 0, rng);
+  EXPECT_LT(ks_distance(degrees, 2.5, 1), 0.02);
+  EXPECT_GT(ks_distance(degrees, 3.5, 1), 0.10);
+}
+
+TEST(Fit, FullFitPicksReasonableXmin) {
+  Rng rng(89);
+  const auto degrees = sample_zeta_degrees(100000, 2.3, 0, rng);
+  const auto fit = fit_power_law(degrees);
+  EXPECT_NEAR(fit.alpha, 2.3, 0.1);
+  EXPECT_LE(fit.x_min, 4u);
+  EXPECT_LT(fit.ks_distance, 0.05);
+  EXPECT_GT(fit.tail_size, 1000u);
+}
+
+TEST(Fit, FitOnConfigModelGraph) {
+  Rng rng(97);
+  const Graph g = config_model_power_law(50000, 2.5, rng);
+  const auto fit = fit_power_law(g);
+  // Erased configuration model distorts the tail slightly.
+  EXPECT_NEAR(fit.alpha, 2.5, 0.2);
+}
+
+TEST(Fit, ErrorsOnDegenerateInput) {
+  EXPECT_THROW(fit_alpha_mle(std::vector<std::uint64_t>{}, 1), EncodeError);
+  EXPECT_THROW(fit_alpha_mle(std::vector<std::uint64_t>{0, 0}, 1),
+               EncodeError);
+  EXPECT_THROW(fit_alpha_mle(std::vector<std::uint64_t>{1, 2, 3}, 10),
+               EncodeError);
+  EXPECT_THROW(fit_alpha_mle(std::vector<std::uint64_t>{5}, 0), EncodeError);
+  EXPECT_THROW(fit_alpha_continuous(std::vector<std::uint64_t>{}, 1),
+               EncodeError);
+}
+
+TEST(Fit, FitHandlesTinyInput) {
+  // Fewer than 10 positive degrees: falls back to x_min = 1.
+  const std::vector<std::uint64_t> degrees{1, 2, 3, 1, 1};
+  const auto fit = fit_power_law(degrees);
+  EXPECT_EQ(fit.x_min, 1u);
+  EXPECT_GT(fit.alpha, 1.0);
+}
+
+TEST(Fit, ErdosRenyiFitsPoorly) {
+  // The KS distance of the best power-law fit to binomial degrees should
+  // be visibly worse than for genuine power-law data.
+  Rng rng(101);
+  const Graph er = erdos_renyi_gnm(20000, 100000, rng);  // mean degree 10
+  const auto er_fit = fit_power_law(er);
+  const auto pl_degrees = sample_zeta_degrees(20000, 2.5, 0, rng);
+  const auto pl_fit = fit_power_law(pl_degrees);
+  EXPECT_GT(er_fit.ks_distance, 2.0 * pl_fit.ks_distance);
+}
+
+}  // namespace
+}  // namespace plg

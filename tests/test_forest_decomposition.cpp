@@ -1,0 +1,102 @@
+#include "graph/forest_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba.h"
+#include "gen/erdos_renyi.h"
+#include "graph/algorithms.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+/// Every edge of g must lie in exactly one forest, and no forest may hold
+/// a non-edge.
+void expect_exact_cover(const Graph& g, const ForestDecomposition& fd) {
+  std::size_t covered = 0;
+  for (const Forest& f : fd.forests) {
+    ASSERT_EQ(f.parent.size(), g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const Vertex p = f.parent[v];
+      if (p != Forest::kNoParent) {
+        ASSERT_TRUE(g.has_edge(v, p)) << v << "->" << p;
+        ++covered;
+      }
+    }
+  }
+  EXPECT_EQ(covered, g.num_edges());
+  // Exactly once: count each undirected edge's appearances.
+  for (const Edge& e : g.edge_list()) {
+    int times = 0;
+    for (const Forest& f : fd.forests) {
+      if (f.has_edge(e.u, e.v)) ++times;
+    }
+    ASSERT_EQ(times, 1) << e.u << "-" << e.v;
+  }
+}
+
+TEST(ForestDecomposition, PathIsOneForest) {
+  GraphBuilder b(8);
+  for (Vertex v = 0; v + 1 < 8; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const auto fd = decompose_into_forests(g);
+  EXPECT_EQ(fd.forests.size(), 1u);
+  expect_exact_cover(g, fd);
+  EXPECT_TRUE(is_forest(fd.forests[0]));
+}
+
+TEST(ForestDecomposition, CliqueNeedsNMinus1) {
+  GraphBuilder b(6);
+  for (Vertex u = 0; u < 6; ++u) {
+    for (Vertex v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  }
+  const Graph g = b.build();
+  const auto fd = decompose_into_forests(g);
+  EXPECT_EQ(fd.forests.size(), 5u);  // degeneracy of K6
+  expect_exact_cover(g, fd);
+  for (const Forest& f : fd.forests) EXPECT_TRUE(is_forest(f));
+}
+
+TEST(ForestDecomposition, RandomGraphs) {
+  Rng rng(317);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Graph g = erdos_renyi_gnm(100, 250, rng);
+    const auto fd = decompose_into_forests(g);
+    expect_exact_cover(g, fd);
+    for (const Forest& f : fd.forests) {
+      EXPECT_TRUE(is_forest(f));
+    }
+  }
+}
+
+TEST(ForestDecomposition, BaGraphUsesFewForests) {
+  // The whole point of Proposition 5: BA graphs decompose into O(m)
+  // forests (degeneracy of a BA graph is exactly m).
+  Rng rng(331);
+  for (const std::size_t m : {1ull, 2ull, 4ull}) {
+    const BaGraph ba = generate_ba(2000, m, rng);
+    const auto fd = decompose_into_forests(ba.graph);
+    EXPECT_EQ(fd.forests.size(), m) << "m=" << m;
+    expect_exact_cover(ba.graph, fd);
+    for (const Forest& f : fd.forests) EXPECT_TRUE(is_forest(f));
+  }
+}
+
+TEST(ForestDecomposition, EdgelessGraph) {
+  GraphBuilder b(10);
+  const auto fd = decompose_into_forests(b.build());
+  EXPECT_TRUE(fd.forests.empty());
+  EXPECT_EQ(fd.degeneracy, 0u);
+}
+
+TEST(IsForest, DetectsCycle) {
+  Forest f;
+  f.parent = {1, 2, 0};  // 3-cycle of parent pointers
+  EXPECT_FALSE(is_forest(f));
+  Forest ok;
+  ok.parent = {1, 2, Forest::kNoParent};
+  EXPECT_TRUE(is_forest(ok));
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,91 @@
+#include "core/forest_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba.h"
+#include "gen/erdos_renyi.h"
+#include "util/bits.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+void expect_correct(const Graph& g) {
+  ForestScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(scheme.adjacent(labeling[u], labeling[v]), g.has_edge(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(ForestScheme, Path) {
+  GraphBuilder b(9);
+  for (Vertex v = 0; v + 1 < 9; ++v) b.add_edge(v, v + 1);
+  expect_correct(b.build());
+}
+
+TEST(ForestScheme, Clique) {
+  GraphBuilder b(7);
+  for (Vertex u = 0; u < 7; ++u) {
+    for (Vertex v = u + 1; v < 7; ++v) b.add_edge(u, v);
+  }
+  expect_correct(b.build());
+}
+
+TEST(ForestScheme, RandomGraphs) {
+  Rng rng(337);
+  for (int iter = 0; iter < 6; ++iter) {
+    expect_correct(erdos_renyi_gnm(50, 120, rng));
+  }
+}
+
+TEST(ForestScheme, EdgelessAndEmpty) {
+  GraphBuilder b(5);
+  expect_correct(b.build());
+  GraphBuilder e(0);
+  ForestScheme scheme;
+  EXPECT_EQ(scheme.encode(e.build()).size(), 0u);
+}
+
+TEST(ForestScheme, Proposition5LabelSizeOnBa) {
+  // Labels must be <= ~2 log n + d(log n + 1) bits, d = degeneracy = m.
+  Rng rng(347);
+  for (const std::size_t m : {2ull, 4ull}) {
+    const BaGraph ba = generate_ba(4000, m, rng);
+    ForestScheme scheme;
+    const auto stats = scheme.encode(ba.graph).stats();
+    const std::size_t w = id_width(4000);
+    EXPECT_LE(stats.max_bits, 2 * w + m * (w + 1) + 32) << "m=" << m;
+  }
+}
+
+TEST(ForestScheme, BaSampledPairs) {
+  Rng rng(349);
+  const BaGraph ba = generate_ba(3000, 3, rng);
+  ForestScheme scheme;
+  const Labeling labeling = scheme.encode(ba.graph);
+  for (const Edge& e : ba.graph.edge_list()) {
+    ASSERT_TRUE(scheme.adjacent(labeling[e.u], labeling[e.v]));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(3000));
+    const auto v = static_cast<Vertex>(rng.next_below(3000));
+    ASSERT_EQ(scheme.adjacent(labeling[u], labeling[v]),
+              ba.graph.has_edge(u, v));
+  }
+}
+
+TEST(ForestScheme, MismatchedEncodingsThrow) {
+  Rng rng(353);
+  ForestScheme scheme;
+  const auto a = scheme.encode(erdos_renyi_gnm(20, 30, rng));
+  const auto b = scheme.encode(erdos_renyi_gnm(500, 3000, rng));
+  EXPECT_THROW(scheme.adjacent(a[0], b[0]), DecodeError);
+}
+
+}  // namespace
+}  // namespace plg

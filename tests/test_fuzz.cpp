@@ -1,0 +1,208 @@
+// Robustness fuzzing: decoders must never crash or read out of bounds on
+// corrupted or random labels — they either throw DecodeError or return a
+// (possibly wrong) answer. This pins the library's documented failure
+// contract for labels that crossed an unreliable channel.
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/distance_scheme.h"
+#include "core/dynamic_scheme.h"
+#include "core/forest_scheme.h"
+#include "core/hub_labeling.h"
+#include "core/hybrid_scheme.h"
+#include "core/one_query.h"
+#include "core/thin_fat.h"
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+/// Flips `flips` random bits of a label.
+Label corrupt(const Label& l, Rng& rng, int flips) {
+  if (l.size_bits() == 0) return l;
+  std::vector<std::uint64_t> words = l.words();
+  for (int i = 0; i < flips; ++i) {
+    const auto bit = rng.next_below(l.size_bits());
+    words[bit / 64] ^= std::uint64_t{1} << (bit % 64);
+  }
+  BitWriter w;
+  std::size_t remaining = l.size_bits();
+  for (std::size_t i = 0; remaining > 0; ++i) {
+    const int chunk = static_cast<int>(std::min<std::size_t>(64, remaining));
+    w.write_bits(words[i], chunk);
+    remaining -= static_cast<std::size_t>(chunk);
+  }
+  return Label::from_writer(std::move(w));
+}
+
+/// Truncates a label to `bits` bits.
+Label truncate(const Label& l, std::size_t bits) {
+  BitWriter w;
+  BitReader r = l.reader();
+  for (std::size_t i = 0; i < bits; ++i) w.write_bit(r.read_bit());
+  return Label::from_writer(std::move(w));
+}
+
+/// Random garbage label.
+Label garbage(Rng& rng, std::size_t bits) {
+  BitWriter w;
+  std::size_t remaining = bits;
+  while (remaining > 0) {
+    const int chunk = static_cast<int>(std::min<std::size_t>(64, remaining));
+    w.write_bits(rng(), chunk);
+    remaining -= static_cast<std::size_t>(chunk);
+  }
+  return Label::from_writer(std::move(w));
+}
+
+template <typename DecodeFn>
+void fuzz_decoder(const Labeling& labeling, DecodeFn&& decode,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = labeling.size();
+  // Bit flips.
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    const Label bad = corrupt(labeling[u], rng,
+                              1 + static_cast<int>(rng.next_below(8)));
+    try {
+      (void)decode(bad, labeling[v]);
+      (void)decode(labeling[v], bad);
+    } catch (const DecodeError&) {
+      // acceptable outcome
+    }
+  }
+  // Truncations.
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const Label& l = labeling[u];
+    if (l.size_bits() < 2) continue;
+    const Label cut = truncate(l, 1 + rng.next_below(l.size_bits() - 1));
+    try {
+      (void)decode(cut, labeling[(u + 1) % n]);
+    } catch (const DecodeError&) {
+    }
+  }
+  // Pure garbage.
+  for (int iter = 0; iter < 200; ++iter) {
+    const Label junk = garbage(rng, 1 + rng.next_below(256));
+    try {
+      (void)decode(junk, labeling[rng.next_below(n)]);
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+Graph fuzz_graph() {
+  Rng rng(653);
+  return erdos_renyi_gnm(80, 240, rng);
+}
+
+TEST(Fuzz, ThinFatDecoder) {
+  const auto enc = thin_fat_encode(fuzz_graph(), 6);
+  fuzz_decoder(
+      enc.labeling,
+      [](const Label& a, const Label& b) { return thin_fat_adjacent(a, b); },
+      1001);
+}
+
+TEST(Fuzz, HybridDecoder) {
+  HybridScheme scheme(6);
+  const auto labeling = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) { return scheme.adjacent(a, b); },
+      1003);
+}
+
+TEST(Fuzz, AdjListDecoder) {
+  AdjListScheme scheme;
+  const auto labeling = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) { return scheme.adjacent(a, b); },
+      1005);
+}
+
+TEST(Fuzz, AdjMatrixDecoder) {
+  AdjMatrixScheme scheme;
+  const auto labeling = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) { return scheme.adjacent(a, b); },
+      1007);
+}
+
+TEST(Fuzz, ForestDecoder) {
+  ForestScheme scheme;
+  const auto labeling = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) { return scheme.adjacent(a, b); },
+      1009);
+}
+
+TEST(Fuzz, DynamicDecoder) {
+  const Graph g = fuzz_graph();
+  DynamicScheme dyn(g.num_vertices(), 6);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) dyn.add_vertex();
+  for (const Edge& e : g.edge_list()) dyn.add_edge(e.u, e.v);
+  fuzz_decoder(
+      dyn.snapshot(),
+      [](const Label& a, const Label& b) {
+        return DynamicScheme::adjacent(a, b);
+      },
+      1013);
+}
+
+TEST(Fuzz, DistanceDecoder) {
+  DistanceScheme scheme(3, 2.5);
+  const auto enc = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      enc.labeling,
+      [](const Label& a, const Label& b) {
+        return DistanceScheme::distance(a, b).has_value();
+      },
+      1021);
+}
+
+TEST(Fuzz, HubLabelingDecoder) {
+  HubLabeling scheme;
+  const auto result = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      result.labeling,
+      [](const Label& a, const Label& b) {
+        return HubLabeling::distance(a, b).has_value();
+      },
+      1031);
+}
+
+TEST(Fuzz, CompressedListDecoder) {
+  CompressedListScheme scheme;
+  const auto labeling = scheme.encode(fuzz_graph());
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) { return scheme.adjacent(a, b); },
+      1033);
+}
+
+TEST(Fuzz, OneQueryDecoder) {
+  OneQueryScheme scheme;
+  const Graph g = fuzz_graph();
+  const Labeling labeling = scheme.encode(g);
+  const LabelFetch fetch = [&labeling](std::uint64_t id) -> const Label& {
+    return labeling[static_cast<Vertex>(id % labeling.size())];
+  };
+  fuzz_decoder(
+      labeling,
+      [&](const Label& a, const Label& b) {
+        return OneQueryScheme::adjacent(a, b, fetch);
+      },
+      1019);
+}
+
+}  // namespace
+}  // namespace plg

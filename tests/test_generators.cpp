@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/waxman.h"
+#include "graph/degree.h"
+#include "powerlaw/fit.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+// ---- Barabási–Albert ---------------------------------------------------
+
+TEST(BaModel, EdgeCountExact) {
+  Rng rng(103);
+  const std::size_t n = 2000;
+  const std::size_t m = 3;
+  const BaGraph ba = generate_ba(n, m, rng);
+  // Seed clique (m+1 choose 2) plus m per inserted vertex. Preferential
+  // attachment picks distinct targets, so no edges are lost to dedup.
+  const std::size_t expected =
+      (m + 1) * m / 2 + m * (n - (m + 1));
+  EXPECT_EQ(ba.graph.num_edges(), expected);
+}
+
+TEST(BaModel, MinDegreeIsM) {
+  Rng rng(107);
+  const BaGraph ba = generate_ba(500, 2, rng);
+  for (Vertex v = 0; v < 500; ++v) {
+    EXPECT_GE(ba.graph.degree(v), 2u) << v;
+  }
+}
+
+TEST(BaModel, InsertionListsMatchGraph) {
+  Rng rng(109);
+  const BaGraph ba = generate_ba(300, 3, rng);
+  for (Vertex v = 4; v < 300; ++v) {
+    ASSERT_EQ(ba.insertion_targets[v].size(), 3u);
+    for (const Vertex t : ba.insertion_targets[v]) {
+      EXPECT_LT(t, v);  // targets predate the vertex
+      EXPECT_TRUE(ba.graph.has_edge(v, t));
+    }
+  }
+}
+
+TEST(BaModel, Deterministic) {
+  Rng a(111);
+  Rng b(111);
+  EXPECT_EQ(generate_ba(200, 2, a).graph.edge_list(),
+            generate_ba(200, 2, b).graph.edge_list());
+}
+
+TEST(BaModel, HubsEmerge) {
+  Rng rng(113);
+  const BaGraph ba = generate_ba(5000, 2, rng);
+  // Preferential attachment must grow hubs far above the minimum degree.
+  EXPECT_GT(ba.graph.max_degree(), 50u);
+}
+
+TEST(BaModel, RejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(generate_ba(2, 3, rng), EncodeError);
+  EXPECT_THROW(generate_ba(100, 0, rng), EncodeError);
+}
+
+// ---- Chung–Lu ----------------------------------------------------------
+
+TEST(ChungLu, WeightsMeanMatchesAvgDegree) {
+  const auto w = power_law_weights(10000, 2.5, 6.0);
+  const double mean = std::accumulate(w.begin(), w.end(), 0.0) / 10000.0;
+  // Capping can only pull the head down slightly.
+  EXPECT_NEAR(mean, 6.0, 0.5);
+}
+
+TEST(ChungLu, WeightsDescending) {
+  const auto w = power_law_weights(1000, 2.3, 4.0);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LE(w[i], w[i - 1]);
+  }
+}
+
+TEST(ChungLu, EdgeCountNearExpectation) {
+  Rng rng(127);
+  const std::size_t n = 20000;
+  const double avg = 8.0;
+  const Graph g = chung_lu_power_law(n, 2.5, avg, rng);
+  const double expected_edges = avg * static_cast<double>(n) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected_edges,
+              0.15 * expected_edges);
+}
+
+TEST(ChungLu, DegreesCorrelateWithWeights) {
+  Rng rng(131);
+  const auto w = power_law_weights(5000, 2.5, 8.0);
+  const Graph g = chung_lu(w, rng);
+  // Vertex 0 has the largest weight; its degree should dwarf the median.
+  EXPECT_GT(g.degree(0), 20u);
+  EXPECT_LT(g.degree(4999), 20u);
+}
+
+TEST(ChungLu, FittedAlphaMatches) {
+  Rng rng(137);
+  const Graph g = chung_lu_power_law(100000, 2.5, 8.0, rng);
+  const auto fit = fit_power_law(g);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.25);
+}
+
+TEST(ChungLu, RejectsUnsortedWeights) {
+  Rng rng(1);
+  EXPECT_THROW(chung_lu({1.0, 2.0}, rng), EncodeError);
+}
+
+TEST(ChungLu, RejectsAlphaBelow2) {
+  EXPECT_THROW(power_law_weights(100, 1.9, 4.0), EncodeError);
+}
+
+// ---- Configuration model ------------------------------------------------
+
+TEST(ConfigModel, DegreesApproximateTargets) {
+  Rng rng(139);
+  std::vector<std::uint64_t> degrees(1000, 4);
+  const Graph g = configuration_model(degrees, rng);
+  // Erasure removes only self-loops/multi-edges: a small fraction here.
+  EXPECT_GT(g.num_edges(), 1900u);
+  EXPECT_LE(g.num_edges(), 2000u);
+}
+
+TEST(ConfigModel, ZetaSamplesHaveHeavyTail) {
+  Rng rng(149);
+  const auto degrees = sample_zeta_degrees(100000, 2.2, 0, rng);
+  std::uint64_t max_d = 0;
+  std::size_t ones = 0;
+  for (const auto d : degrees) {
+    max_d = std::max(max_d, d);
+    ones += d == 1;
+  }
+  EXPECT_GT(max_d, 100u);  // heavy tail reaches far
+  // P[D=1] = 1/zeta(2.2) ~ 0.68.
+  EXPECT_NEAR(static_cast<double>(ones) / 100000.0, 0.68, 0.02);
+}
+
+TEST(ConfigModel, TruncationRespected) {
+  Rng rng(151);
+  const auto degrees = sample_zeta_degrees(50000, 2.1, 30, rng);
+  for (const auto d : degrees) {
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 30u);
+  }
+}
+
+TEST(ConfigModel, GraphIsSimple) {
+  Rng rng(157);
+  const Graph g = config_model_power_law(10000, 2.3, rng);
+  // Simplicity is structural (builder dedups); spot-check no self-loop
+  // remains by scanning neighbor lists.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      ASSERT_NE(u, v);
+    }
+  }
+}
+
+// ---- Erdős–Rényi --------------------------------------------------------
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(163);
+  const Graph g = erdos_renyi_gnm(500, 1500, rng);
+  EXPECT_EQ(g.num_edges(), 1500u);
+}
+
+TEST(ErdosRenyi, CapsAtCompleteGraph) {
+  Rng rng(167);
+  const Graph g = erdos_renyi_gnm(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(ErdosRenyi, TinyGraphs) {
+  Rng rng(173);
+  EXPECT_EQ(erdos_renyi_gnm(0, 10, rng).num_vertices(), 0u);
+  EXPECT_EQ(erdos_renyi_gnm(1, 10, rng).num_edges(), 0u);
+}
+
+// ---- Waxman -------------------------------------------------------------
+
+TEST(Waxman, EdgeProbabilityScalesWithBeta) {
+  Rng rng(179);
+  const Graph sparse_g = waxman(400, 0.05, 0.3, rng);
+  const Graph dense_g = waxman(400, 0.5, 0.3, rng);
+  EXPECT_GT(dense_g.num_edges(), 3 * sparse_g.num_edges());
+}
+
+TEST(Waxman, NoHeavyTail) {
+  Rng rng(181);
+  const Graph g = waxman(2000, 0.08, 0.2, rng);
+  // Geometric models concentrate degrees: max degree stays near the mean,
+  // unlike power-law graphs.
+  const double mean_deg = 2.0 * static_cast<double>(g.num_edges()) /
+                          static_cast<double>(g.num_vertices());
+  EXPECT_LT(static_cast<double>(g.max_degree()), 6.0 * mean_deg + 10.0);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,90 @@
+// Golden label-format tests: pin the exact bit layouts on tiny inputs so
+// accidental format changes (which would silently break persisted labels)
+// fail loudly. Layouts are asserted field by field through a BitReader
+// rather than as opaque hex, so a failure message says WHICH field moved.
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/thin_fat.h"
+#include "graph/graph.h"
+#include "util/bit_stream.h"
+
+namespace plg {
+namespace {
+
+// P3 path 0-1-2, n = 3 (width = 2), tau = 2: vertex 1 (degree 2) is fat.
+Graph p3() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+TEST(Golden, ThinFatThinLabelLayout) {
+  const auto enc = thin_fat_encode(p3(), 2);
+  // Identifiers: fat vertex 1 -> id 0; thin 0 -> id 1, thin 2 -> id 2.
+  ASSERT_EQ(enc.num_fat, 1u);
+  EXPECT_EQ(enc.identifier[1], 0u);
+  EXPECT_EQ(enc.identifier[0], 1u);
+  EXPECT_EQ(enc.identifier[2], 2u);
+
+  // Thin label of vertex 0: gamma(2) fat=0 id=01 gamma(deg+1=2) nb=00.
+  BitReader r = enc.labeling[0].reader();
+  EXPECT_EQ(r.read_gamma(), 2u);       // width field
+  EXPECT_FALSE(r.read_bit());          // thin
+  EXPECT_EQ(r.read_bits(2), 1u);       // identifier 1
+  EXPECT_EQ(r.read_gamma0(), 1u);      // degree 1
+  EXPECT_EQ(r.read_bits(2), 0u);       // neighbor identifier 0 (the hub)
+  EXPECT_TRUE(r.exhausted());
+  // Total: 3 + 1 + 2 + 3 + 2 = 11 bits.
+  EXPECT_EQ(enc.labeling[0].size_bits(), 11u);
+}
+
+TEST(Golden, ThinFatFatLabelLayout) {
+  const auto enc = thin_fat_encode(p3(), 2);
+  // Fat label of vertex 1: gamma(2) fat=1 id=00 gamma(k+1=2) row="0".
+  BitReader r = enc.labeling[1].reader();
+  EXPECT_EQ(r.read_gamma(), 2u);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_bits(2), 0u);
+  EXPECT_EQ(r.read_gamma0(), 1u);      // k = 1 fat vertex
+  EXPECT_FALSE(r.read_bit());          // not adjacent to itself
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(enc.labeling[1].size_bits(), 10u);
+}
+
+TEST(Golden, ThinFatLabelHexStable) {
+  // End-to-end golden bytes (low word, little-endian bit order).
+  const auto enc = thin_fat_encode(p3(), 2);
+  EXPECT_EQ(enc.labeling[0].to_hex(), "2900000000000000");
+  EXPECT_EQ(enc.labeling[1].to_hex(), "a800000000000000");
+  EXPECT_EQ(enc.labeling[2].to_hex(), "2a00000000000000");
+}
+
+TEST(Golden, AdjListLayout) {
+  AdjListScheme scheme;
+  const auto labeling = scheme.encode(p3());
+  // Vertex 1: gamma(2) id=01 gamma(3) nbs = {0, 2}.
+  BitReader r = labeling[1].reader();
+  EXPECT_EQ(r.read_gamma(), 2u);
+  EXPECT_EQ(r.read_bits(2), 1u);
+  EXPECT_EQ(r.read_gamma0(), 2u);
+  EXPECT_EQ(r.read_bits(2), 0u);
+  EXPECT_EQ(r.read_bits(2), 2u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Golden, AdjMatrixLayout) {
+  AdjMatrixScheme scheme;
+  const auto labeling = scheme.encode(p3());
+  // Vertex 2: gamma(2) id=10 row over {0,1} = 0,1.
+  BitReader r = labeling[2].reader();
+  EXPECT_EQ(r.read_gamma(), 2u);
+  EXPECT_EQ(r.read_bits(2), 2u);
+  EXPECT_FALSE(r.read_bit());  // not adjacent to 0
+  EXPECT_TRUE(r.read_bit());   // adjacent to 1
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,147 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+Graph triangle_plus_pendant() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, EdgelessGraph) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.degree(v), 0u);
+    EXPECT_TRUE(g.neighbors(v).empty());
+  }
+}
+
+TEST(Graph, BasicTopology) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, NeighborsSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, DuplicatesAndSelfLoopsDropped) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate reversed
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(2, 2);  // self-loop
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.add_edge(7, 1), std::out_of_range);
+}
+
+TEST(Graph, EdgeListCanonical) {
+  const Graph g = triangle_plus_pendant();
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  EXPECT_TRUE(std::is_sorted(
+      edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      }));
+}
+
+TEST(Graph, MakeGraphRoundTrip) {
+  const Graph g = triangle_plus_pendant();
+  const auto edges = g.edge_list();
+  const Graph h = make_graph(4, edges);
+  EXPECT_EQ(h.edge_list(), edges);
+}
+
+TEST(Graph, Sparsity) {
+  const Graph g = triangle_plus_pendant();  // 4 vertices, 4 edges
+  EXPECT_DOUBLE_EQ(g.sparsity(), 1.0);
+  EXPECT_TRUE(g.is_sparse(1.0));
+  EXPECT_TRUE(g.is_sparse(2.0));
+  EXPECT_FALSE(g.is_sparse(0.5));
+}
+
+TEST(Graph, HasEdgeRandomizedAgainstMatrix) {
+  Rng rng(31);
+  const std::size_t n = 40;
+  std::vector<bool> adj(n * n, false);
+  GraphBuilder b(n);
+  for (int i = 0; i < 150; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    b.add_edge(u, v);
+    adj[u * n + v] = adj[v * n + u] = true;
+  }
+  const Graph g = b.build();
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(g.has_edge(u, v), static_cast<bool>(adj[u * n + v]))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  Rng rng(37);
+  GraphBuilder b(100);
+  for (int i = 0; i < 400; ++i) {
+    b.add_edge(static_cast<Vertex>(rng.next_below(100)),
+               static_cast<Vertex>(rng.next_below(100)));
+  }
+  const Graph g = b.build();
+  std::size_t sum = 0;
+  for (Vertex v = 0; v < 100; ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,83 @@
+#include "gen/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "powerlaw/fit.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+TEST(Hierarchical, SizeAndDeterminism) {
+  HierarchicalParams p;
+  p.domains = 8;
+  p.leaf_size = 32;
+  Rng a(801);
+  Rng b(801);
+  const Graph g1 = hierarchical(p, a);
+  const Graph g2 = hierarchical(p, b);
+  EXPECT_EQ(g1.num_vertices(), 256u);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+  EXPECT_GT(g1.num_edges(), 0u);
+}
+
+TEST(Hierarchical, LocalityStructure) {
+  // Intra-domain edges should dominate inter-domain edges: the model's
+  // defining property.
+  HierarchicalParams p;
+  p.domains = 16;
+  p.leaf_size = 64;
+  Rng rng(809);
+  const Graph g = hierarchical(p, rng);
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const Edge& e : g.edge_list()) {
+    if (e.u / p.leaf_size == e.v / p.leaf_size) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, 4 * inter);
+  // Inter-domain edges exist at all (top-level Waxman with beta 0.6).
+  EXPECT_GT(inter, 0u);
+}
+
+TEST(Hierarchical, NoPowerLawTail) {
+  // Degrees concentrate (Waxman at both levels): the max degree stays
+  // within a small multiple of the mean, unlike power-law graphs. This
+  // is why Section 6 expects no better labels for this model.
+  HierarchicalParams p;
+  p.domains = 32;
+  p.leaf_size = 64;
+  Rng rng(811);
+  const Graph g = hierarchical(p, rng);
+  const double mean =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_vertices());
+  EXPECT_LT(static_cast<double>(g.max_degree()), 6.0 * mean + 10.0);
+}
+
+TEST(DiameterLowerBound, PathExact) {
+  GraphBuilder b(50);
+  for (Vertex v = 0; v + 1 < 50; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  EXPECT_EQ(diameter_lower_bound(g, 25), 49u);
+}
+
+TEST(DiameterLowerBound, StarIsTwo) {
+  GraphBuilder b(10);
+  for (Vertex v = 1; v < 10; ++v) b.add_edge(0, v);
+  EXPECT_EQ(diameter_lower_bound(b.build(), 0), 2u);
+}
+
+TEST(DiameterLowerBound, EmptyAndSingleton) {
+  GraphBuilder b(0);
+  EXPECT_EQ(diameter_lower_bound(b.build()), 0u);
+  GraphBuilder s(1);
+  EXPECT_EQ(diameter_lower_bound(s.build(), 0), 0u);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,119 @@
+#include "core/hub_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "graph/algorithms.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+void expect_exact_all_pairs(const Graph& g) {
+  HubLabeling scheme;
+  const auto result = scheme.encode(g);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto got =
+          HubLabeling::distance(result.labeling[u], result.labeling[v]);
+      if (dist[v] == kInfDist) {
+        ASSERT_FALSE(got.has_value()) << u << "," << v;
+      } else {
+        ASSERT_TRUE(got.has_value()) << u << "," << v;
+        ASSERT_EQ(*got, dist[v]) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(HubLabeling, PathGraph) {
+  GraphBuilder b(15);
+  for (Vertex v = 0; v + 1 < 15; ++v) b.add_edge(v, v + 1);
+  expect_exact_all_pairs(b.build());
+}
+
+TEST(HubLabeling, StarAndClique) {
+  GraphBuilder star(12);
+  for (Vertex v = 1; v < 12; ++v) star.add_edge(0, v);
+  expect_exact_all_pairs(star.build());
+  GraphBuilder clique(8);
+  for (Vertex u = 0; u < 8; ++u) {
+    for (Vertex v = u + 1; v < 8; ++v) clique.add_edge(u, v);
+  }
+  expect_exact_all_pairs(clique.build());
+}
+
+TEST(HubLabeling, DisconnectedComponents) {
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(4, 5);
+  expect_exact_all_pairs(b.build());
+}
+
+TEST(HubLabeling, RandomGraphsExact) {
+  Rng rng(911);
+  for (int iter = 0; iter < 5; ++iter) {
+    expect_exact_all_pairs(erdos_renyi_gnm(60, 140, rng));
+  }
+}
+
+TEST(HubLabeling, PowerLawSampledExact) {
+  Rng rng(919);
+  const Graph g = chung_lu_power_law(3000, 2.5, 5.0, rng);
+  HubLabeling scheme;
+  const auto result = scheme.encode(g);
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(3000));
+    const auto dist = bfs_distances(g, u);
+    for (int j = 0; j < 40; ++j) {
+      const auto v = static_cast<Vertex>(rng.next_below(3000));
+      const auto got =
+          HubLabeling::distance(result.labeling[u], result.labeling[v]);
+      if (dist[v] == kInfDist) {
+        ASSERT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, dist[v]);
+      }
+    }
+  }
+}
+
+TEST(HubLabeling, SmallLabelsOnPowerLawGraphs) {
+  // The reason hub labels matter here: on power-law graphs a few hubs
+  // cover most shortest paths, so labels stay tiny (far below n).
+  Rng rng(929);
+  const BaGraph ba = generate_ba(4000, 3, rng);
+  HubLabeling scheme;
+  const auto result = scheme.encode(ba.graph);
+  EXPECT_LT(result.avg_hubs_per_vertex, 100.0);
+  EXPECT_LT(result.max_hubs, 1000u);
+}
+
+TEST(HubLabeling, WidthMismatchThrows) {
+  Rng rng(937);
+  HubLabeling scheme;
+  const auto a = scheme.encode(erdos_renyi_gnm(10, 15, rng));
+  const auto b = scheme.encode(erdos_renyi_gnm(500, 900, rng));
+  EXPECT_THROW(HubLabeling::distance(a.labeling[0], b.labeling[0]),
+               DecodeError);
+}
+
+TEST(HubLabeling, SelfDistanceZero) {
+  Rng rng(941);
+  const Graph g = erdos_renyi_gnm(30, 60, rng);
+  HubLabeling scheme;
+  const auto result = scheme.encode(g);
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_EQ(*HubLabeling::distance(result.labeling[v], result.labeling[v]),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace plg

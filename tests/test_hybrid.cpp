@@ -1,0 +1,101 @@
+// Hybrid fat-payload scheme (ablation of the Theorem 3/4 row layout):
+// correctness must be identical to the plain engine; sizes can only
+// improve.
+#include "core/hybrid_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "powerlaw/threshold.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+void expect_correct(const Graph& g, std::uint64_t tau) {
+  HybridScheme scheme(tau);
+  const Labeling labeling = scheme.encode(g);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(scheme.adjacent(labeling[u], labeling[v]), g.has_edge(u, v))
+          << "tau=" << tau << " pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(Hybrid, ExhaustiveSmallGraphsAllThresholds) {
+  Rng rng(601);
+  for (int iter = 0; iter < 5; ++iter) {
+    const Graph g = erdos_renyi_gnm(35, 110, rng);
+    for (const std::uint64_t tau : {1ull, 3ull, 6ull, 50ull}) {
+      expect_correct(g, tau);
+    }
+  }
+}
+
+TEST(Hybrid, StarBothLayouts) {
+  // Star: hub fat with no fat neighbors (list layout, empty), leaves
+  // thin. With tau = 1 everyone is fat; the hub's row/list choice and
+  // leaves' single-entry lists all get exercised.
+  GraphBuilder b(20);
+  for (Vertex v = 1; v < 20; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  expect_correct(g, 5);
+  expect_correct(g, 1);
+}
+
+TEST(Hybrid, AgreesWithPlainEngineEverywhere) {
+  Rng rng(607);
+  const Graph g = chung_lu_power_law(4000, 2.4, 6.0, rng);
+  const std::uint64_t tau = tau_power_law(4000, 2.4, 1.0);
+  HybridScheme hybrid(tau);
+  const auto hybrid_labels = hybrid.encode(g);
+  const auto plain = thin_fat_encode(g, tau);
+  for (int i = 0; i < 20000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(4000));
+    const auto v = static_cast<Vertex>(rng.next_below(4000));
+    ASSERT_EQ(hybrid.adjacent(hybrid_labels[u], hybrid_labels[v]),
+              thin_fat_adjacent(plain.labeling[u], plain.labeling[v]));
+  }
+}
+
+TEST(Hybrid, NeverLargerThanPlainByMoreThanSelector) {
+  // Per-vertex: hybrid label <= plain label + 1 (the selector bit), and
+  // on sparse fat-fat subgraphs it should win by a lot for hubs.
+  Rng rng(613);
+  const Graph g = chung_lu_power_law(8000, 2.3, 8.0, rng);
+  const std::uint64_t tau = tau_power_law(8000, 2.3, 1.0);
+  HybridScheme hybrid(tau);
+  const auto hybrid_labels = hybrid.encode(g);
+  const auto plain = thin_fat_encode(g, tau);
+  for (Vertex v = 0; v < 8000; ++v) {
+    ASSERT_LE(hybrid_labels[v].size_bits(),
+              plain.labeling[v].size_bits() + 1)
+        << v;
+  }
+  // The densest hub may legitimately keep the row (its fat-neighbor list
+  // would be as big), so the max can tie; the total must strictly win —
+  // most fat vertices touch few of the k hubs.
+  EXPECT_LE(hybrid_labels.stats().max_bits,
+            plain.labeling.stats().max_bits + 1);
+  EXPECT_LT(hybrid_labels.stats().total_bits,
+            plain.labeling.stats().total_bits);
+}
+
+TEST(Hybrid, RejectsBadThresholdAndMixedLabels) {
+  GraphBuilder b(4);
+  HybridScheme bad(0);
+  EXPECT_THROW(bad.encode(b.build()), EncodeError);
+
+  Rng rng(617);
+  HybridScheme scheme(3);
+  const auto small = scheme.encode(erdos_renyi_gnm(10, 15, rng));
+  const auto big = scheme.encode(erdos_renyi_gnm(500, 800, rng));
+  EXPECT_THROW(scheme.adjacent(small[0], big[0]), DecodeError);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,170 @@
+// End-to-end pipelines across the whole library: generate -> (fit) ->
+// encode -> decode -> verify, the way a downstream user would compose the
+// pieces. Each test exercises several modules together.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/baseline.h"
+#include "core/forest_scheme.h"
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lower_bound.h"
+#include "gen/pl_sequence.h"
+#include "graph/io.h"
+#include "powerlaw/family.h"
+#include "powerlaw/fit.h"
+#include "powerlaw/threshold.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+void verify_sampled(const AdjacencyScheme& scheme, const Graph& g, Rng& rng,
+                    std::size_t non_edge_samples = 1500) {
+  const Labeling labeling = scheme.encode(g);
+  for (const Edge& e : g.edge_list()) {
+    ASSERT_TRUE(scheme.adjacent(labeling[e.u], labeling[e.v]))
+        << scheme.name();
+  }
+  const std::size_t n = g.num_vertices();
+  for (std::size_t i = 0; i < non_edge_samples; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    ASSERT_EQ(scheme.adjacent(labeling[u], labeling[v]), g.has_edge(u, v))
+        << scheme.name();
+  }
+}
+
+struct Workload {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> out;
+  Rng rng(457);
+  out.push_back({"chung-lu-2.3", chung_lu_power_law(8000, 2.3, 5.0, rng)});
+  out.push_back({"config-2.6", config_model_power_law(8000, 2.6, rng)});
+  out.push_back({"pl-exact-2.5", pl_graph(8000, 2.5)});
+  out.push_back({"ba-m3", generate_ba(8000, 3, rng).graph});
+  out.push_back({"er", erdos_renyi_gnm(8000, 20000, rng)});
+  return out;
+}
+
+TEST(Integration, EverySchemeDecodesEveryWorkload) {
+  Rng rng(461);
+  const auto loads = workloads();
+  SparseScheme sparse;
+  PowerLawScheme pl_canonical(2.5);
+  PowerLawScheme pl_practical(2.5, 1.0);
+  PowerLawScheme pl_fitted;
+  FixedThresholdScheme fixed(16);
+  AdjListScheme adjlist;
+  ForestScheme forest;
+  const AdjacencyScheme* schemes[] = {&sparse,    &pl_canonical,
+                                      &pl_practical, &pl_fitted,
+                                      &fixed,     &adjlist,
+                                      &forest};
+  for (const auto& load : loads) {
+    for (const AdjacencyScheme* scheme : schemes) {
+      SCOPED_TRACE(std::string(load.name) + " / " + scheme->name());
+      verify_sampled(*scheme, load.graph, rng, 500);
+    }
+  }
+}
+
+TEST(Integration, FitThenEncodePipeline) {
+  // The paper's intended workflow: observe a graph, fit alpha, derive the
+  // threshold, encode, answer queries.
+  Rng rng(463);
+  const Graph g = chung_lu_power_law(30000, 2.4, 6.0, rng);
+  const auto fit = fit_power_law(g);
+  ASSERT_NEAR(fit.alpha, 2.4, 0.35);
+  const std::uint64_t tau = tau_power_law(g.num_vertices(), fit.alpha, 1.0);
+  const auto enc = thin_fat_encode(g, tau);
+  // The threshold must separate a small fat set from the bulk.
+  EXPECT_LT(enc.num_fat, g.num_vertices() / 20);
+  Rng qrng(467);
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<Vertex>(qrng.next_below(30000));
+    const auto v = static_cast<Vertex>(qrng.next_below(30000));
+    ASSERT_EQ(thin_fat_adjacent(enc.labeling[u], enc.labeling[v]),
+              g.has_edge(u, v));
+  }
+}
+
+TEST(Integration, LowerBoundInstanceRoundTrip) {
+  // Theorem 6 demo as a pipeline: embed a hard H in a P_l host, encode
+  // the host with the Theorem 4 scheme, and recover H's adjacency purely
+  // from labels of the embedded vertices.
+  Rng rng(479);
+  const auto inst = random_lower_bound_instance(20000, 2.5, rng);
+  ASSERT_TRUE(check_Pl(inst.g, 2.5).member);
+  PowerLawScheme scheme(2.5);
+  const Labeling labeling = scheme.encode(inst.g);
+  for (std::size_t a = 0; a < inst.h_vertices.size(); ++a) {
+    for (std::size_t b = a + 1; b < inst.h_vertices.size(); ++b) {
+      const Vertex u = inst.h_vertices[a];
+      const Vertex v = inst.h_vertices[b];
+      ASSERT_EQ(scheme.adjacent(labeling[u], labeling[v]),
+                inst.g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Integration, SerializeGraphThenEncode) {
+  // Graph IO composes with encoding: write, reload, encode, compare
+  // label statistics (deterministic given the same graph).
+  Rng rng(487);
+  const Graph g = chung_lu_power_law(5000, 2.5, 5.0, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  PowerLawScheme scheme(2.5, 1.0);
+  const auto sg = scheme.encode(g).stats();
+  const auto sh = scheme.encode(h).stats();
+  EXPECT_EQ(sg.max_bits, sh.max_bits);
+  EXPECT_EQ(sg.total_bits, sh.total_bits);
+}
+
+TEST(Integration, FamilyCheckGuardsEncoding) {
+  // A user can verify P_h membership before relying on Theorem 4's bound.
+  // Power-of-two n so that the formula's log n equals our labels' actual
+  // ceil(log2 n) identifier width (for other n the dominant term inflates
+  // by ceil(log2 n)/log2(n), still O(1)).
+  const std::uint64_t n = 16384;
+  const Graph g = pl_graph(n, 2.5);
+  const auto report = check_Ph(g, 2.5);
+  ASSERT_TRUE(report.member) << report.violation;
+  PowerLawScheme scheme(2.5);
+  const auto stats = scheme.encode(g).stats();
+  EXPECT_LE(static_cast<double>(stats.max_bits),
+            bound_power_law_bits(n, 2.5) + 64.0);
+}
+
+TEST(Integration, StatsAreInternallyConsistent) {
+  Rng rng(491);
+  const Graph g = erdos_renyi_gnm(1000, 3000, rng);
+  AdjListScheme scheme;
+  const auto labeling = scheme.encode(g);
+  const auto stats = labeling.stats();
+  std::size_t total = 0;
+  std::size_t max_bits = 0;
+  for (Vertex v = 0; v < 1000; ++v) {
+    total += labeling[v].size_bits();
+    max_bits = std::max(max_bits, labeling[v].size_bits());
+  }
+  EXPECT_EQ(stats.total_bits, total);
+  EXPECT_EQ(stats.max_bits, max_bits);
+  EXPECT_EQ(stats.num_labels, 1000u);
+  EXPECT_DOUBLE_EQ(stats.avg_bits, static_cast<double>(total) / 1000.0);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,100 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+Graph sample() {
+  Rng rng(61);
+  return erdos_renyi_gnm(30, 60, rng);
+}
+
+TEST(IoText, RoundTrip) {
+  const Graph g = sample();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(IoText, SkipsComments) {
+  std::stringstream ss("# comment\n% another\n3 2\n# inner\n0 1\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(IoText, EmptyInputThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_edge_list(ss), DecodeError);
+}
+
+TEST(IoText, MalformedHeaderThrows) {
+  std::stringstream ss("not a header\n");
+  EXPECT_THROW(read_edge_list(ss), DecodeError);
+}
+
+TEST(IoText, TruncatedEdgesThrow) {
+  std::stringstream ss("4 3\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), DecodeError);
+}
+
+TEST(IoText, OutOfRangeVertexThrows) {
+  std::stringstream ss("3 1\n0 7\n");
+  EXPECT_THROW(read_edge_list(ss), DecodeError);
+}
+
+TEST(IoBinary, RoundTrip) {
+  const Graph g = sample();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, g);
+  const Graph h = read_binary(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(IoBinary, TruncatedThrows) {
+  const Graph g = sample();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, g);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(cut), DecodeError);
+}
+
+TEST(IoBinary, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, g);
+  const Graph h = read_binary(ss);
+  EXPECT_EQ(h.num_vertices(), 0u);
+}
+
+TEST(IoFile, SaveLoadBothFormats) {
+  const Graph g = sample();
+  const std::string text_path = testing::TempDir() + "/plg_io_test.txt";
+  const std::string bin_path = testing::TempDir() + "/plg_io_test.bin";
+  save_graph(text_path, g);
+  save_graph(bin_path, g);
+  EXPECT_EQ(load_graph(text_path).edge_list(), g.edge_list());
+  EXPECT_EQ(load_graph(bin_path).edge_list(), g.edge_list());
+}
+
+TEST(IoFile, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/path/graph.txt"), DecodeError);
+}
+
+}  // namespace
+}  // namespace plg

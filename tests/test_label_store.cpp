@@ -1,0 +1,107 @@
+#include "core/label_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+Labeling sample_labeling() {
+  Rng rng(701);
+  const Graph g = chung_lu_power_law(2000, 2.5, 6.0, rng);
+  PowerLawScheme scheme(2.5, 1.0);
+  return scheme.encode(g);
+}
+
+TEST(LabelStore, BlobRoundTripBitExact) {
+  const Labeling original = sample_labeling();
+  const auto blob = LabelStore::serialize(original);
+  const LabelStore store = LabelStore::parse(blob);
+  ASSERT_EQ(store.size(), original.size());
+  const Labeling loaded = store.load_all();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded[static_cast<Vertex>(i)],
+              original[static_cast<Vertex>(i)])
+        << i;
+  }
+  const auto a = original.stats();
+  const auto b = loaded.stats();
+  EXPECT_EQ(a.max_bits, b.max_bits);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+}
+
+TEST(LabelStore, RandomAccessGet) {
+  const Labeling original = sample_labeling();
+  const LabelStore store = LabelStore::parse(LabelStore::serialize(original));
+  Rng rng(703);
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.next_below(store.size()));
+    ASSERT_EQ(store.get(idx), original[static_cast<Vertex>(idx)]);
+    ASSERT_EQ(store.size_bits(idx),
+              original[static_cast<Vertex>(idx)].size_bits());
+  }
+}
+
+TEST(LabelStore, LoadedLabelsStillDecode) {
+  Rng rng(709);
+  const Graph g = erdos_renyi_gnm(300, 900, rng);
+  const auto enc = thin_fat_encode(g, 8);
+  const LabelStore store =
+      LabelStore::parse(LabelStore::serialize(enc.labeling));
+  for (int i = 0; i < 4000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(300));
+    const auto v = static_cast<Vertex>(rng.next_below(300));
+    ASSERT_EQ(thin_fat_adjacent(store.get(u), store.get(v)),
+              g.has_edge(u, v));
+  }
+}
+
+TEST(LabelStore, EmptyLabeling) {
+  const Labeling empty;
+  const LabelStore store = LabelStore::parse(LabelStore::serialize(empty));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.load_all().size(), 0u);
+}
+
+TEST(LabelStore, RejectsBadMagicVersionTruncation) {
+  const auto blob = LabelStore::serialize(sample_labeling());
+
+  auto bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(LabelStore::parse(bad_magic), DecodeError);
+
+  auto bad_version = blob;
+  bad_version[4] = 0x7F;
+  EXPECT_THROW(LabelStore::parse(bad_version), DecodeError);
+
+  auto cut = blob;
+  cut.resize(cut.size() / 3);
+  EXPECT_THROW(LabelStore::parse(cut), DecodeError);
+
+  EXPECT_THROW(LabelStore::parse({}), DecodeError);
+}
+
+TEST(LabelStore, OutOfRangeGetThrows) {
+  const LabelStore store =
+      LabelStore::parse(LabelStore::serialize(sample_labeling()));
+  EXPECT_THROW(store.get(store.size()), DecodeError);
+}
+
+TEST(LabelStore, FileRoundTrip) {
+  const Labeling original = sample_labeling();
+  const std::string path = testing::TempDir() + "/plg_labels.plgl";
+  LabelStore::save_file(path, original);
+  const LabelStore store = LabelStore::open_file(path);
+  ASSERT_EQ(store.size(), original.size());
+  EXPECT_EQ(store.get(7), original[7]);
+  EXPECT_THROW(LabelStore::open_file("/nonexistent/x.plgl"), DecodeError);
+}
+
+}  // namespace
+}  // namespace plg

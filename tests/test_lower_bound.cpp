@@ -1,0 +1,109 @@
+// Tests of the Section 5 construction (Theorem 6): an arbitrary graph H
+// on i1 = Theta(n^{1/alpha}) vertices embeds as an induced subgraph of a
+// member of P_l.
+#include "gen/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "powerlaw/constants.h"
+#include "powerlaw/family.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+class LowerBoundTest
+    : public testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(LowerBoundTest, HostIsInPl) {
+  const auto [n, alpha] = GetParam();
+  Rng rng(191);
+  const auto inst = random_lower_bound_instance(n, alpha, rng);
+  ASSERT_EQ(inst.g.num_vertices(), n);
+  const auto report = check_Pl(inst.g, alpha);
+  EXPECT_TRUE(report.member) << report.violation;
+}
+
+TEST_P(LowerBoundTest, HIsInducedSubgraph) {
+  const auto [n, alpha] = GetParam();
+  Rng rng(193);
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  // Build a specific H and verify edge-for-edge induced embedding.
+  GraphBuilder hb(i1);
+  Rng hrng(195);
+  for (Vertex u = 0; u < i1; ++u) {
+    for (Vertex v = u + 1; v < i1; ++v) {
+      if (hrng.next_bool(0.4)) hb.add_edge(u, v);
+    }
+  }
+  const Graph h = hb.build();
+  const auto inst = embed_in_pl(h, n, alpha);
+  ASSERT_EQ(inst.h_vertices.size(), i1);
+  for (Vertex u = 0; u < i1; ++u) {
+    for (Vertex v = static_cast<Vertex>(u + 1); v < i1; ++v) {
+      EXPECT_EQ(inst.g.has_edge(inst.h_vertices[u], inst.h_vertices[v]),
+                h.has_edge(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LowerBoundTest,
+    testing::Combine(testing::Values<std::uint64_t>(2048, 16384, 65536),
+                     testing::Values(2.2, 2.5, 3.0)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+TEST(LowerBound, ExtremeHs) {
+  const std::uint64_t n = 16384;
+  const double alpha = 2.5;
+  const std::uint64_t i1 = pl_i1(n, alpha);
+
+  // H empty.
+  GraphBuilder empty_b(i1);
+  const auto empty_inst = embed_in_pl(empty_b.build(), n, alpha);
+  EXPECT_TRUE(check_Pl(empty_inst.g, alpha).member);
+
+  // H complete (max degree i1 - 1, the hardest case).
+  GraphBuilder full_b(i1);
+  for (Vertex u = 0; u < i1; ++u) {
+    for (Vertex v = u + 1; v < i1; ++v) full_b.add_edge(u, v);
+  }
+  const Graph h = full_b.build();
+  const auto full_inst = embed_in_pl(h, n, alpha);
+  const auto report = check_Pl(full_inst.g, alpha);
+  EXPECT_TRUE(report.member) << report.violation;
+  for (Vertex u = 0; u < i1; ++u) {
+    for (Vertex v = static_cast<Vertex>(u + 1); v < i1; ++v) {
+      ASSERT_TRUE(full_inst.g.has_edge(full_inst.h_vertices[u],
+                                       full_inst.h_vertices[v]));
+    }
+  }
+}
+
+TEST(LowerBound, RejectsWrongHSize) {
+  const std::uint64_t n = 16384;
+  GraphBuilder hb(3);  // i1(16384, 2.5) is far from 3
+  EXPECT_THROW(embed_in_pl(hb.build(), n, 2.5), EncodeError);
+}
+
+TEST(LowerBound, RejectsAlphaBelow2) {
+  const std::uint64_t n = 16384;
+  const std::uint64_t i1 = pl_i1(n, 1.5);
+  GraphBuilder hb(i1);
+  EXPECT_THROW(embed_in_pl(hb.build(), n, 1.5), EncodeError);
+}
+
+TEST(LowerBound, I1MatchesConstants) {
+  Rng rng(197);
+  const auto inst = random_lower_bound_instance(8192, 2.5, rng);
+  EXPECT_EQ(inst.i1, pl_i1(8192, 2.5));
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,81 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace plg {
+namespace {
+
+TEST(Mathx, ZetaKnownValues) {
+  EXPECT_NEAR(riemann_zeta(2.0), std::numbers::pi * std::numbers::pi / 6.0,
+              1e-10);
+  EXPECT_NEAR(riemann_zeta(4.0), std::pow(std::numbers::pi, 4) / 90.0, 1e-10);
+  EXPECT_NEAR(riemann_zeta(3.0), 1.2020569031595942854, 1e-10);  // Apery
+  EXPECT_NEAR(riemann_zeta(1.5), 2.6123753486854883, 1e-9);
+  EXPECT_NEAR(riemann_zeta(6.0), std::pow(std::numbers::pi, 6) / 945.0,
+              1e-10);
+}
+
+TEST(Mathx, ZetaTailConsistency) {
+  // zeta(s) == partial(s, a-1) + tail(s, a)
+  for (const double s : {1.5, 2.0, 2.5, 3.0}) {
+    for (const std::uint64_t a : {2ull, 5ull, 17ull, 100ull}) {
+      EXPECT_NEAR(riemann_zeta(s), zeta_partial(s, a - 1) + zeta_tail(s, a),
+                  1e-9)
+          << "s=" << s << " a=" << a;
+    }
+  }
+}
+
+TEST(Mathx, ZetaTailMonotoneInA) {
+  for (std::uint64_t a = 1; a < 50; ++a) {
+    EXPECT_GT(zeta_tail(2.5, a), zeta_tail(2.5, a + 1));
+  }
+}
+
+TEST(Mathx, ZetaPartialSmall) {
+  EXPECT_NEAR(zeta_partial(2.0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(zeta_partial(2.0, 2), 1.25, 1e-12);
+  EXPECT_NEAR(zeta_partial(1.0, 4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(Mathx, FloorRootExactPowers) {
+  EXPECT_EQ(floor_root(8, 3.0), 2u);
+  EXPECT_EQ(floor_root(27, 3.0), 3u);
+  EXPECT_EQ(floor_root(1000000, 2.0), 1000u);
+  EXPECT_EQ(floor_root(1, 5.0), 1u);
+  EXPECT_EQ(floor_root(0, 2.0), 0u);
+}
+
+TEST(Mathx, FloorRootBoundaries) {
+  EXPECT_EQ(floor_root(7, 3.0), 1u);
+  EXPECT_EQ(floor_root(26, 3.0), 2u);
+  EXPECT_EQ(floor_root(28, 3.0), 3u);
+  EXPECT_EQ(floor_root(999999, 2.0), 999u);
+  EXPECT_EQ(floor_root(1000001, 2.0), 1000u);
+}
+
+TEST(Mathx, CeilRoot) {
+  EXPECT_EQ(ceil_root(8, 3.0), 2u);
+  EXPECT_EQ(ceil_root(9, 3.0), 3u);
+  EXPECT_EQ(ceil_root(1000000, 2.0), 1000u);
+  EXPECT_EQ(ceil_root(1000001, 2.0), 1001u);
+}
+
+TEST(Mathx, RootsFractionalAlpha) {
+  // floor(n^{1/2.5}) sweep against a slow reference.
+  for (std::uint64_t n = 1; n < 20000; n = n * 3 / 2 + 1) {
+    const std::uint64_t r = floor_root(n, 2.5);
+    EXPECT_LE(std::pow(static_cast<double>(r), 2.5),
+              static_cast<double>(n) * (1 + 1e-9))
+        << n;
+    EXPECT_GT(std::pow(static_cast<double>(r + 1), 2.5),
+              static_cast<double>(n) * (1 - 1e-9))
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,118 @@
+#include "core/one_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+LabelFetch fetcher(const Labeling& labeling) {
+  return [&labeling](std::uint64_t id) -> const Label& {
+    return labeling[static_cast<Vertex>(id)];
+  };
+}
+
+TEST(OneQuery, CorrectOnAllPairsSmall) {
+  Rng rng(383);
+  const Graph g = erdos_renyi_gnm(60, 150, rng);
+  OneQueryScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  const auto fetch = fetcher(labeling);
+  for (Vertex u = 0; u < 60; ++u) {
+    for (Vertex v = 0; v < 60; ++v) {
+      ASSERT_EQ(OneQueryScheme::adjacent(labeling[u], labeling[v], fetch),
+                g.has_edge(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(OneQuery, SampledPairsPowerLaw) {
+  Rng rng(389);
+  const Graph g = chung_lu_power_law(20000, 2.4, 6.0, rng);
+  OneQueryScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  const auto fetch = fetcher(labeling);
+  for (const Edge& e : g.edge_list()) {
+    ASSERT_TRUE(
+        OneQueryScheme::adjacent(labeling[e.u], labeling[e.v], fetch));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(20000));
+    const auto v = static_cast<Vertex>(rng.next_below(20000));
+    ASSERT_EQ(OneQueryScheme::adjacent(labeling[u], labeling[v], fetch),
+              g.has_edge(u, v));
+  }
+}
+
+TEST(OneQuery, LabelsAreLogarithmic) {
+  // Section 6's point: O(log n) labels for sparse graphs, far below the
+  // Omega(sqrt(cn)) adjacency lower bound. Average must be O(log n); the
+  // max can carry a log-factor tail from hash imbalance.
+  Rng rng(397);
+  const std::size_t n = 50000;
+  const Graph g = erdos_renyi_gnm(n, 2 * n, rng);
+  OneQueryScheme scheme;
+  const auto stats = scheme.encode(g).stats();
+  const double log_n = std::log2(static_cast<double>(n));
+  EXPECT_LT(stats.avg_bits, 20.0 * log_n);
+  // Max label carries the balls-in-bins log n / log log n bucket tail;
+  // the comparison against the sqrt(cn) adjacency lower bound needs
+  // larger n to separate and is reported by bench_one_query (E7).
+  EXPECT_LT(static_cast<double>(stats.max_bits),
+            20.0 * log_n * log_n);  // generous whp bound
+}
+
+TEST(OneQuery, BucketRoutingIsConsistent) {
+  Rng rng(401);
+  const Graph g = erdos_renyi_gnm(100, 200, rng);
+  OneQueryScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(100));
+    const auto v = static_cast<Vertex>(rng.next_below(100));
+    if (u == v) continue;
+    EXPECT_EQ(OneQueryScheme::bucket_of(labeling[u], labeling[v]),
+              OneQueryScheme::bucket_of(labeling[v], labeling[u]));
+    EXPECT_LT(OneQueryScheme::bucket_of(labeling[u], labeling[v]), 100u);
+  }
+}
+
+TEST(OneQuery, MixedEncodingsRejected) {
+  Rng rng(409);
+  OneQueryScheme scheme;
+  const Labeling a = scheme.encode(erdos_renyi_gnm(50, 100, rng));
+  const Labeling b = scheme.encode(erdos_renyi_gnm(50, 100, rng));
+  const auto fetch = fetcher(a);
+  // Same n, but different seeds/graphs: seed mismatch must be detected.
+  EXPECT_THROW(OneQueryScheme::adjacent(a[0], b[0], fetch), DecodeError);
+}
+
+TEST(OneQuery, SelfQueryFalse) {
+  Rng rng(419);
+  const Graph g = erdos_renyi_gnm(30, 60, rng);
+  OneQueryScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  const auto fetch = fetcher(labeling);
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_FALSE(OneQueryScheme::adjacent(labeling[v], labeling[v], fetch));
+  }
+}
+
+TEST(OneQuery, EdgelessGraph) {
+  GraphBuilder b(10);
+  const Graph g = b.build();
+  OneQueryScheme scheme;
+  const Labeling labeling = scheme.encode(g);
+  const auto fetch = fetcher(labeling);
+  EXPECT_FALSE(OneQueryScheme::adjacent(labeling[0], labeling[5], fetch));
+}
+
+}  // namespace
+}  // namespace plg

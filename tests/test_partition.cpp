@@ -1,0 +1,118 @@
+// Partition-override encoding and the incomplete-knowledge scheme
+// (Section 8.1 future work #2): the decoder must be correct for ANY
+// fat/thin partition, and classifying by expected degree must give
+// Theorem 5-sized labels on Chung–Lu graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "powerlaw/threshold.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+TEST(Partition, DecoderCorrectForArbitraryPartitions) {
+  // Property: correctness is partition-independent. Random masks,
+  // including adversarial ones (all fat, all thin, alternating).
+  Rng rng(619);
+  const Graph g = erdos_renyi_gnm(40, 120, rng);
+  std::vector<std::vector<bool>> masks;
+  masks.emplace_back(40, true);
+  masks.emplace_back(40, false);
+  {
+    std::vector<bool> alt(40);
+    for (int i = 0; i < 40; ++i) alt[i] = i % 2 == 0;
+    masks.push_back(alt);
+  }
+  for (int r = 0; r < 5; ++r) {
+    std::vector<bool> random_mask(40);
+    for (int i = 0; i < 40; ++i) random_mask[i] = rng.next_bool(0.3);
+    masks.push_back(random_mask);
+  }
+  for (const auto& mask : masks) {
+    const auto enc = thin_fat_encode_partition(g, mask);
+    for (Vertex u = 0; u < 40; ++u) {
+      for (Vertex v = 0; v < 40; ++v) {
+        ASSERT_EQ(thin_fat_adjacent(enc.labeling[u], enc.labeling[v]),
+                  g.has_edge(u, v));
+      }
+    }
+  }
+}
+
+TEST(Partition, MaskSizeMismatchThrows) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  EXPECT_THROW(thin_fat_encode_partition(g, std::vector<bool>(3, false)),
+               EncodeError);
+}
+
+TEST(Partition, CountsReflectMask) {
+  Rng rng(631);
+  const Graph g = erdos_renyi_gnm(30, 60, rng);
+  std::vector<bool> mask(30, false);
+  mask[3] = mask[7] = mask[12] = true;
+  const auto enc = thin_fat_encode_partition(g, mask);
+  EXPECT_EQ(enc.num_fat, 3u);
+  EXPECT_EQ(enc.num_thin, 27u);
+  EXPECT_EQ(enc.threshold, 0u);  // partition encodings have no tau
+}
+
+TEST(ExpectedDegree, CorrectOnChungLu) {
+  // The model's weights drive the partition; realized degrees never do.
+  Rng rng(641);
+  const std::size_t n = 20000;
+  const double alpha = 2.5;
+  const auto weights = power_law_weights(n, alpha, 6.0);
+  const Graph g = chung_lu(weights, rng);
+
+  ExpectedDegreeScheme scheme(weights, alpha, 1.0);
+  const auto enc = scheme.encode_full(g);
+  for (const Edge& e : g.edge_list()) {
+    ASSERT_TRUE(scheme.adjacent(enc.labeling[e.u], enc.labeling[e.v]));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    ASSERT_EQ(scheme.adjacent(enc.labeling[u], enc.labeling[v]),
+              g.has_edge(u, v));
+  }
+}
+
+TEST(ExpectedDegree, LabelSizesNearInformedScheme) {
+  // Theorem 5's promise: expected-degree classification costs about the
+  // same as classifying with the true degrees.
+  Rng rng(643);
+  const std::size_t n = 30000;
+  const double alpha = 2.4;
+  const auto weights = power_law_weights(n, alpha, 6.0);
+  const Graph g = chung_lu(weights, rng);
+
+  ExpectedDegreeScheme blind(weights, alpha, 1.0);
+  PowerLawScheme informed(alpha, 1.0);
+  const auto blind_stats = blind.encode(g).stats();
+  const auto informed_stats = informed.encode(g).stats();
+  // Within a factor ~3 of the informed scheme — the cost of degree
+  // fluctuation around the expectation (Chernoff-scale, not structural).
+  EXPECT_LT(static_cast<double>(blind_stats.max_bits),
+            3.0 * static_cast<double>(informed_stats.max_bits));
+  EXPECT_LT(blind_stats.avg_bits, 2.0 * informed_stats.avg_bits);
+}
+
+TEST(ExpectedDegree, SizeMismatchAndBadAlphaThrow) {
+  Rng rng(647);
+  const Graph g = erdos_renyi_gnm(10, 20, rng);
+  ExpectedDegreeScheme wrong_size(std::vector<double>(5, 1.0), 2.5);
+  EXPECT_THROW(wrong_size.encode(g), EncodeError);
+  EXPECT_THROW(ExpectedDegreeScheme(std::vector<double>(10, 1.0), 0.5),
+               EncodeError);
+}
+
+}  // namespace
+}  // namespace plg

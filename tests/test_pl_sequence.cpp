@@ -1,0 +1,88 @@
+#include "gen/pl_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/degree.h"
+#include "powerlaw/constants.h"
+#include "powerlaw/family.h"
+#include "util/errors.h"
+
+namespace plg {
+namespace {
+
+class PlSequenceTest
+    : public testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(PlSequenceTest, SequenceHasExactlyNEntries) {
+  const auto [n, alpha] = GetParam();
+  EXPECT_EQ(pl_degree_sequence(n, alpha).size(), n);
+}
+
+TEST_P(PlSequenceTest, SequenceIsGraphical) {
+  const auto [n, alpha] = GetParam();
+  const auto seq = pl_degree_sequence(n, alpha);
+  const std::uint64_t sum =
+      std::accumulate(seq.begin(), seq.end(), std::uint64_t{0});
+  EXPECT_EQ(sum % 2, 0u);
+  EXPECT_TRUE(erdos_gallai(seq));
+}
+
+TEST_P(PlSequenceTest, RealizationMatchesSequence) {
+  const auto [n, alpha] = GetParam();
+  const auto seq = pl_degree_sequence(n, alpha);
+  const Graph g = havel_hakimi(seq);
+  EXPECT_EQ(degree_sequence(g), seq);
+}
+
+TEST_P(PlSequenceTest, GraphIsInPl) {
+  const auto [n, alpha] = GetParam();
+  const Graph g = pl_graph(n, alpha);
+  const auto report = check_Pl(g, alpha);
+  EXPECT_TRUE(report.member) << report.violation;
+}
+
+TEST_P(PlSequenceTest, SingletonBucketsPresent) {
+  // The construction carries Theta(n^{1/alpha}) singleton high-degree
+  // buckets starting at degree i1 — the structural feature the lower
+  // bound exploits.
+  const auto [n, alpha] = GetParam();
+  const auto seq = pl_degree_sequence(n, alpha);
+  const std::uint64_t i1 = pl_i1(n, alpha);
+  std::size_t singles = 0;
+  for (const auto d : seq) {
+    if (d >= i1) ++singles;
+  }
+  EXPECT_GE(singles, i1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlSequenceTest,
+    testing::Combine(testing::Values<std::uint64_t>(256, 1024, 8192, 65536),
+                     testing::Values(2.1, 2.5, 3.0)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+TEST(PlSequence, RejectsTinyN) {
+  EXPECT_THROW(pl_degree_sequence(8, 2.5), EncodeError);
+}
+
+TEST(PlSequence, RejectsBadAlpha) {
+  EXPECT_THROW(pl_degree_sequence(1000, 0.9), EncodeError);
+}
+
+TEST(PlSequence, DegreeOneBucketDominates) {
+  // |V_1| ~ C*n: the defining feature of the family.
+  const std::uint64_t n = 10000;
+  const double alpha = 2.5;
+  const auto seq = pl_degree_sequence(n, alpha);
+  const auto ones = static_cast<double>(
+      std::count(seq.begin(), seq.end(), std::uint64_t{1}));
+  EXPECT_NEAR(ones / static_cast<double>(n), pl_C(alpha), 0.02);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,127 @@
+#include "core/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "graph/algorithms.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+/// Checks a returned route: starts at u, ends at v, every hop an edge.
+void expect_valid_route(const Graph& g, Vertex u, Vertex v,
+                        const std::vector<Vertex>& hops) {
+  ASSERT_FALSE(hops.empty());
+  ASSERT_EQ(hops.front(), u);
+  ASSERT_EQ(hops.back(), v);
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    ASSERT_TRUE(g.has_edge(hops[i], hops[i + 1]))
+        << hops[i] << "->" << hops[i + 1];
+  }
+}
+
+TEST(Routing, StarRoutesEverywhere) {
+  GraphBuilder b(16);
+  for (Vertex v = 1; v < 16; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  LandmarkRouter router(g, 5);  // center is the landmark
+  EXPECT_EQ(router.num_landmarks(), 1u);
+  for (Vertex u = 0; u < 16; ++u) {
+    for (Vertex v = 0; v < 16; ++v) {
+      const auto route = router.route(u, v);
+      ASSERT_TRUE(route.has_value());
+      expect_valid_route(g, u, v, *route);
+      // Stretch on a star: never more than 2 hops.
+      EXPECT_LE(route->size() - 1, 2u);
+    }
+  }
+}
+
+TEST(Routing, FallsBackToMaxDegreeLandmark) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  LandmarkRouter router(g, 100);  // nobody qualifies -> max degree picked
+  EXPECT_EQ(router.num_landmarks(), 1u);
+  const auto route = router.route(0, 5);
+  ASSERT_TRUE(route.has_value());
+  expect_valid_route(g, 0, 5, *route);
+}
+
+TEST(Routing, BoundedAdditiveStretch) {
+  // Hops <= d(u, v) + 2 * d(v, L(v)) — the scheme's guarantee; verify
+  // against BFS ground truth on power-law graphs.
+  Rng rng(947);
+  const Graph g = chung_lu_power_law(3000, 2.4, 6.0, rng);
+  LandmarkRouter router(g, 30);
+  ASSERT_GE(router.num_landmarks(), 1u);
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(3000));
+    const auto dist = bfs_distances(g, u);
+    for (int j = 0; j < 25; ++j) {
+      const auto v = static_cast<Vertex>(rng.next_below(3000));
+      const auto route = router.route(u, v);
+      if (dist[v] == kInfDist) continue;
+      ASSERT_TRUE(route.has_value()) << u << "->" << v;
+      expect_valid_route(g, u, v, *route);
+      // The additive bound (conservative: 2 * landmark eccentricity
+      // bound baked into the address is not exposed; check against the
+      // route's own landmark distance via the stats-free inequality
+      // hops <= d(u,v) + 2*d(v,L(v)) <= d(u,v) + 2*diameter-ish slack).
+      ASSERT_LE(route->size() - 1, static_cast<std::size_t>(dist[v]) + 24)
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(Routing, UnreachableReturnsNullopt) {
+  GraphBuilder b(7);
+  for (Vertex v = 1; v < 5; ++v) b.add_edge(0, v);  // star component
+  b.add_edge(5, 6);                                  // separate edge
+  const Graph g = b.build();
+  LandmarkRouter router(g, 3);
+  EXPECT_FALSE(router.route(0, 5).has_value());
+  EXPECT_FALSE(router.route(5, 1).has_value());
+  // Within the landmark-less component, adjacency still delivers.
+  const auto local = router.route(5, 6);
+  ASSERT_TRUE(local.has_value());
+  expect_valid_route(g, 5, 6, *local);
+}
+
+TEST(Routing, SelfRouteIsTrivial) {
+  Rng rng(953);
+  const Graph g = erdos_renyi_gnm(50, 120, rng);
+  LandmarkRouter router(g, 6);
+  const auto route = router.route(7, 7);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 1u);
+}
+
+TEST(Routing, AddressesAreCompact) {
+  Rng rng(967);
+  const BaGraph ba = generate_ba(5000, 3, rng);
+  LandmarkRouter router(ba.graph, 40);
+  const auto stats = router.stats();
+  EXPECT_GE(stats.num_landmarks, 1u);
+  // Addresses: landmark id + dist + short down-path; small-world graphs
+  // keep them well under a hub-sized adjacency label.
+  EXPECT_LT(stats.max_address_bits, 400u);
+  EXPECT_GT(stats.avg_address_bits, 0.0);
+}
+
+TEST(Routing, EmptyGraphThrows) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_THROW(LandmarkRouter(g, 3), EncodeError);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,95 @@
+// The compatibility matrix: every static adjacency scheme must decode
+// correctly on every generator's output, across seeds. This is the
+// library's broadest property sweep (TEST_P over scheme x workload x
+// seed) — the guarantee a downstream user actually relies on: schemes
+// are correct on arbitrary graphs, only their label SIZES are tuned to
+// power-law structure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/baseline.h"
+#include "core/forest_scheme.h"
+#include "core/hybrid_scheme.h"
+#include "core/schemes.h"
+#include "core/thin_fat.h"
+#include "gen/ba.h"
+#include "gen/chung_lu.h"
+#include "gen/config_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/hierarchical.h"
+#include "gen/pl_sequence.h"
+#include "gen/waxman.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+constexpr std::size_t kN = 1500;
+
+Graph make_workload(const std::string& kind, std::uint64_t seed) {
+  Rng rng(seed);
+  if (kind == "chung_lu") return chung_lu_power_law(kN, 2.4, 6.0, rng);
+  if (kind == "config") return config_model_power_law(kN, 2.6, rng);
+  if (kind == "ba") return generate_ba(kN, 3, rng).graph;
+  if (kind == "er") return erdos_renyi_gnm(kN, 3 * kN, rng);
+  if (kind == "waxman") return waxman(kN, 0.02, 0.3, rng);
+  if (kind == "pl_exact") return pl_graph(kN, 2.5);
+  HierarchicalParams p;
+  p.domains = 10;
+  p.leaf_size = kN / 10;
+  return hierarchical(p, rng);
+}
+
+std::unique_ptr<AdjacencyScheme> make_scheme(const std::string& kind) {
+  if (kind == "fixed_tau") return std::make_unique<FixedThresholdScheme>(6);
+  if (kind == "sparse") return std::make_unique<SparseScheme>();
+  if (kind == "power_law") return std::make_unique<PowerLawScheme>(2.5, 1.0);
+  if (kind == "hybrid") return std::make_unique<HybridScheme>(6);
+  if (kind == "adj_list") return std::make_unique<AdjListScheme>();
+  if (kind == "gap_list") return std::make_unique<CompressedListScheme>();
+  return std::make_unique<ForestScheme>();
+}
+
+using MatrixParam = std::tuple<std::string, std::string, std::uint64_t>;
+
+class SchemeMatrixTest : public testing::TestWithParam<MatrixParam> {};
+
+TEST_P(SchemeMatrixTest, SampledDecodeCorrect) {
+  const auto& [scheme_kind, workload_kind, seed] = GetParam();
+  const Graph g = make_workload(workload_kind, seed);
+  const auto scheme = make_scheme(scheme_kind);
+  const Labeling labeling = scheme->encode(g);
+  ASSERT_EQ(labeling.size(), g.num_vertices());
+
+  for (const Edge& e : g.edge_list()) {
+    ASSERT_TRUE(scheme->adjacent(labeling[e.u], labeling[e.v]))
+        << e.u << "-" << e.v;
+    ASSERT_TRUE(scheme->adjacent(labeling[e.v], labeling[e.u]))
+        << e.v << "-" << e.u;
+  }
+  Rng rng(seed ^ 0xabcdef);
+  for (int i = 0; i < 1200; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    ASSERT_EQ(scheme->adjacent(labeling[u], labeling[v]), g.has_edge(u, v))
+        << u << "," << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemeMatrixTest,
+    testing::Combine(
+        testing::Values("fixed_tau", "sparse", "power_law", "hybrid",
+                        "adj_list", "gap_list", "forest"),
+        testing::Values("chung_lu", "config", "ba", "er", "waxman",
+                        "pl_exact", "hierarchical"),
+        testing::Values<std::uint64_t>(11, 29)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,263 @@
+// Decoder correctness and label-size bounds for the thin/fat engine
+// (Theorems 3 and 4 share it; this file tests the engine itself).
+#include "core/thin_fat.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/pl_sequence.h"
+#include "util/bits.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+/// Exhaustively checks the decoder against the graph for all vertex pairs.
+void expect_decodes_exactly(const Graph& g, const Labeling& labeling) {
+  const std::size_t n = g.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(thin_fat_adjacent(labeling[u], labeling[v]),
+                g.has_edge(u, v))
+          << "pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+/// Samples pairs (all edges + random non-edges) for large graphs.
+void expect_decodes_sampled(const Graph& g, const Labeling& labeling,
+                            Rng& rng, std::size_t non_edges = 2000) {
+  for (const Edge& e : g.edge_list()) {
+    ASSERT_TRUE(thin_fat_adjacent(labeling[e.u], labeling[e.v]));
+    ASSERT_TRUE(thin_fat_adjacent(labeling[e.v], labeling[e.u]));
+  }
+  const std::size_t n = g.num_vertices();
+  for (std::size_t i = 0; i < non_edges; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    ASSERT_EQ(thin_fat_adjacent(labeling[u], labeling[v]), g.has_edge(u, v));
+  }
+}
+
+TEST(ThinFat, TinyGraphsAllThresholds) {
+  // Exhaustive over a handful of structured graphs and all tau values.
+  std::vector<Graph> graphs;
+  {
+    GraphBuilder b(1);
+    graphs.push_back(b.build());
+  }
+  {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    graphs.push_back(b.build());
+  }
+  {
+    GraphBuilder b(5);  // star
+    for (Vertex v = 1; v < 5; ++v) b.add_edge(0, v);
+    graphs.push_back(b.build());
+  }
+  {
+    GraphBuilder b(6);  // K6
+    for (Vertex u = 0; u < 6; ++u) {
+      for (Vertex v = u + 1; v < 6; ++v) b.add_edge(u, v);
+    }
+    graphs.push_back(b.build());
+  }
+  {
+    GraphBuilder b(7);  // path
+    for (Vertex v = 0; v + 1 < 7; ++v) b.add_edge(v, v + 1);
+    graphs.push_back(b.build());
+  }
+  for (const Graph& g : graphs) {
+    for (std::uint64_t tau = 1; tau <= g.num_vertices() + 1; ++tau) {
+      const auto enc = thin_fat_encode(g, tau);
+      expect_decodes_exactly(g, enc.labeling);
+    }
+  }
+}
+
+TEST(ThinFat, RandomGraphsExhaustive) {
+  Rng rng(199);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Graph g = erdos_renyi_gnm(40, 100, rng);
+    for (const std::uint64_t tau : {1ull, 3ull, 7ull, 100ull}) {
+      const auto enc = thin_fat_encode(g, tau);
+      expect_decodes_exactly(g, enc.labeling);
+    }
+  }
+}
+
+class ThinFatLargeTest
+    : public testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ThinFatLargeTest, PowerLawGraphSampledPairs) {
+  const auto [n, alpha] = GetParam();
+  Rng rng(211);
+  const Graph g = chung_lu_power_law(n, alpha, 6.0, rng);
+  const auto enc = thin_fat_encode(g, 32);
+  expect_decodes_sampled(g, enc.labeling, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThinFatLargeTest,
+    testing::Combine(testing::Values<std::size_t>(2000, 20000),
+                     testing::Values(2.2, 2.8)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+TEST(ThinFat, PartitionCountsConsistent) {
+  Rng rng(223);
+  const Graph g = erdos_renyi_gnm(300, 900, rng);
+  const auto enc = thin_fat_encode(g, 7);
+  std::size_t fat = 0;
+  for (Vertex v = 0; v < 300; ++v) {
+    if (g.degree(v) >= 7) ++fat;
+  }
+  EXPECT_EQ(enc.num_fat, fat);
+  EXPECT_EQ(enc.num_thin, 300 - fat);
+  EXPECT_EQ(enc.threshold, 7u);
+}
+
+TEST(ThinFat, IdentifiersArePartitionedPermutation) {
+  Rng rng(227);
+  const Graph g = erdos_renyi_gnm(200, 800, rng);
+  const auto enc = thin_fat_encode(g, 9);
+  std::vector<bool> seen(200, false);
+  for (Vertex v = 0; v < 200; ++v) {
+    const auto id = enc.identifier[v];
+    ASSERT_LT(id, 200u);
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+    if (g.degree(v) >= 9) {
+      EXPECT_LT(id, enc.num_fat);
+    } else {
+      EXPECT_GE(id, enc.num_fat);
+    }
+  }
+}
+
+TEST(ThinFat, HeaderParse) {
+  GraphBuilder b(10);
+  for (Vertex v = 1; v < 10; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  const auto enc = thin_fat_encode(g, 5);
+  const auto hub = thin_fat_parse_header(enc.labeling[0]);
+  EXPECT_TRUE(hub.fat);
+  EXPECT_EQ(hub.degree_or_k, 1u);  // k = 1 fat vertex
+  const auto leaf = thin_fat_parse_header(enc.labeling[3]);
+  EXPECT_FALSE(leaf.fat);
+  EXPECT_EQ(leaf.degree_or_k, 1u);  // degree 1
+}
+
+TEST(ThinFat, LabelSizeStructure) {
+  // Thin label: header + 1 + width + gamma(deg+1) + deg*width.
+  // Fat label:  header + 1 + width + gamma(k+1) + k.
+  Rng rng(229);
+  const Graph g = erdos_renyi_gnm(1000, 4000, rng);
+  const std::uint64_t tau = 10;
+  const auto enc = thin_fat_encode(g, tau);
+  const int width = id_width(1000);
+  for (Vertex v = 0; v < 1000; ++v) {
+    const std::size_t bits = enc.labeling[v].size_bits();
+    if (g.degree(v) >= tau) {
+      // Within header slack of 1 + width + k.
+      EXPECT_LE(bits, 1 + 2 * static_cast<std::size_t>(width) +
+                          enc.num_fat + 32);
+    } else {
+      EXPECT_LE(bits, 1 + 2 * static_cast<std::size_t>(width) +
+                          g.degree(v) * static_cast<std::size_t>(width) + 32);
+    }
+  }
+}
+
+TEST(ThinFat, SelfQueryIsFalse) {
+  Rng rng(233);
+  const Graph g = erdos_renyi_gnm(50, 100, rng);
+  const auto enc = thin_fat_encode(g, 4);
+  for (Vertex v = 0; v < 50; ++v) {
+    EXPECT_FALSE(thin_fat_adjacent(enc.labeling[v], enc.labeling[v]));
+  }
+}
+
+TEST(ThinFat, RejectsBadThreshold) {
+  GraphBuilder b(4);
+  EXPECT_THROW(thin_fat_encode(b.build(), 0), EncodeError);
+}
+
+TEST(ThinFat, RejectsCrossGraphLabels) {
+  // Labels from graphs with different id widths must be detected.
+  Rng rng(239);
+  const Graph small = erdos_renyi_gnm(10, 20, rng);
+  const Graph big = erdos_renyi_gnm(1000, 2000, rng);
+  const auto enc_small = thin_fat_encode(small, 3);
+  const auto enc_big = thin_fat_encode(big, 3);
+  EXPECT_THROW(
+      thin_fat_adjacent(enc_small.labeling[0], enc_big.labeling[0]),
+      DecodeError);
+}
+
+TEST(ThinFat, RejectsTruncatedLabel) {
+  // A label cut mid-payload must throw, not return garbage.
+  GraphBuilder b(8);
+  for (Vertex v = 1; v < 8; ++v) b.add_edge(0, v);
+  const auto enc = thin_fat_encode(b.build(), 3);
+  const Label& good = enc.labeling[1];
+  BitWriter w;
+  BitReader r = good.reader();
+  // Copy all but the final 5 bits.
+  const std::size_t keep = good.size_bits() - 5;
+  for (std::size_t i = 0; i < keep; ++i) w.write_bit(r.read_bit());
+  const Label truncated = Label::from_writer(std::move(w));
+  EXPECT_THROW(thin_fat_adjacent(enc.labeling[0], truncated), DecodeError);
+}
+
+TEST(ThinFat, ExtremeThresholds) {
+  Rng rng(241);
+  const Graph g = erdos_renyi_gnm(60, 200, rng);
+  // tau = 1: everyone fat — pure adjacency-matrix mode.
+  expect_decodes_exactly(g, thin_fat_encode(g, 1).labeling);
+  // tau > max degree: everyone thin — pure adjacency-list mode.
+  expect_decodes_exactly(
+      g, thin_fat_encode(g, g.max_degree() + 1).labeling);
+}
+
+TEST(ThinFat, ParallelEncodeBitIdentical) {
+  // The parallel encoder must produce exactly the serial labels, for
+  // every thread count (including more threads than vertices).
+  Rng rng(1223);
+  const Graph g = chung_lu_power_law(20000, 2.4, 6.0, rng);
+  const auto serial = thin_fat_encode(g, 24);
+  for (const unsigned threads : {1u, 2u, 5u, 16u, 0u}) {
+    const auto parallel = thin_fat_encode_parallel(g, 24, threads);
+    ASSERT_EQ(parallel.num_fat, serial.num_fat);
+    ASSERT_EQ(parallel.identifier, serial.identifier);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(parallel.labeling[v], serial.labeling[v])
+          << "threads=" << threads << " v=" << v;
+    }
+  }
+}
+
+TEST(ThinFat, ParallelEncodeTinyGraphs) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto enc = thin_fat_encode_parallel(g, 1, 8);  // threads > n
+  EXPECT_EQ(enc.labeling.size(), 3u);
+  EXPECT_TRUE(thin_fat_adjacent(enc.labeling[0], enc.labeling[1]));
+  EXPECT_THROW(thin_fat_encode_parallel(g, 0, 2), EncodeError);
+}
+
+TEST(ThinFat, PlGraphDecodes) {
+  Rng rng(251);
+  const Graph g = pl_graph(5000, 2.5);
+  const auto enc = thin_fat_encode(g, 17);
+  expect_decodes_sampled(g, enc.labeling, rng);
+}
+
+}  // namespace
+}  // namespace plg

@@ -1,0 +1,100 @@
+#include "powerlaw/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "powerlaw/constants.h"
+
+namespace plg {
+namespace {
+
+TEST(Threshold, SparseFormula) {
+  // tau = ceil(sqrt(2 c n / log2 n))
+  const std::uint64_t n = 1 << 16;
+  const double c = 2.0;
+  const double x = std::sqrt(2.0 * c * 65536.0 / 16.0);
+  EXPECT_EQ(tau_sparse(n, c),
+            static_cast<std::uint64_t>(std::ceil(x)));
+}
+
+TEST(Threshold, PowerLawFormula) {
+  const std::uint64_t n = 1 << 16;
+  const double a = 2.5;
+  const double cp = pl_Cprime(n, a);
+  const double x = std::pow(cp * 65536.0 / 16.0, 1.0 / a);
+  EXPECT_EQ(tau_power_law(n, a),
+            static_cast<std::uint64_t>(std::ceil(x)));
+}
+
+TEST(Threshold, DistanceFormula) {
+  const std::uint64_t n = 100000;
+  EXPECT_EQ(tau_distance(n, 2.5, 3),
+            static_cast<std::uint64_t>(
+                std::ceil(std::pow(100000.0, 1.0 / (2.5 - 1.0 + 3.0)))));
+}
+
+TEST(Threshold, MonotoneInN) {
+  std::uint64_t prev_s = 0;
+  std::uint64_t prev_p = 0;
+  for (std::uint64_t n = 1024; n <= (1u << 22); n *= 4) {
+    const auto ts = tau_sparse(n, 2.0);
+    const auto tp = tau_power_law(n, 2.5);
+    EXPECT_GE(ts, prev_s);
+    EXPECT_GE(tp, prev_p);
+    prev_s = ts;
+    prev_p = tp;
+  }
+}
+
+TEST(Threshold, TinyNIsSafe) {
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    EXPECT_GE(tau_sparse(n, 1.0), 1u);
+    EXPECT_GE(tau_power_law(n, 2.5), 1u);
+    EXPECT_GE(tau_distance(n, 2.5, 2), 1u);
+  }
+}
+
+TEST(Threshold, BoundsArePositiveAndOrdered) {
+  // For a power-law graph the Thm. 4 bound should be far below the
+  // Thm. 3 bound at the same (n, c~const) once n is large: n^{1/a} vs
+  // sqrt(n).
+  const std::uint64_t n = 1 << 24;
+  EXPECT_LT(bound_power_law_bits(n, 2.5), bound_sparse_bits(n, 2.0));
+  EXPECT_GT(bound_power_law_bits(n, 2.5), 0.0);
+}
+
+TEST(Threshold, UpperLowerGapIsLogFactor) {
+  // Thm. 4 upper vs Thm. 6 lower: ratio should grow like
+  // (log n)^{1-1/a} times a constant — i.e. sub-polynomially.
+  const double a = 2.5;
+  const double r1 =
+      bound_power_law_bits(1 << 14, a) /
+      static_cast<double>(lower_bound_power_law_bits(1 << 14, a));
+  const double r2 =
+      bound_power_law_bits(1 << 24, a) /
+      static_cast<double>(lower_bound_power_law_bits(1 << 24, a));
+  // Ratio grows, but much slower than the n^{(24-14)/a/...} polynomial
+  // factor 10/2.5 = 16x; allow 3x.
+  EXPECT_GT(r2, r1);
+  EXPECT_LT(r2 / r1, 3.0);
+}
+
+TEST(Threshold, LowerBoundSparse) {
+  EXPECT_EQ(lower_bound_sparse_bits(10000, 1.0), 50u);
+  EXPECT_EQ(lower_bound_sparse_bits(10000, 4.0), 100u);
+}
+
+TEST(Threshold, DistanceBoundSublinear) {
+  const double a = 2.5;
+  for (const std::uint64_t f : {2ull, 3ull, 5ull}) {
+    const double b16 = bound_distance_bits(1 << 16, a, f);
+    const double b20 = bound_distance_bits(1 << 20, a, f);
+    // Growing n by 16x grows the bound by < 16x (sublinear).
+    EXPECT_LT(b20 / b16, 16.0);
+    EXPECT_GT(b20, b16);
+  }
+}
+
+}  // namespace
+}  // namespace plg

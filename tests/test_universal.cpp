@@ -1,0 +1,68 @@
+// Kannan–Naor–Rudich connection (Section 1.2 / Section 5): a labeling
+// scheme induces an induced-universal graph. We materialize the reachable
+// universal graph over exhaustive small-graph families and verify every
+// family member embeds induced — a behavioural certificate that each
+// decoder is a pure function of label values.
+#include "core/universal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/thin_fat.h"
+#include "util/errors.h"
+
+namespace plg {
+namespace {
+
+TEST(Universal, EnumerateCountsAreBinomial) {
+  EXPECT_EQ(enumerate_graphs(1, SIZE_MAX).size(), 1u);
+  EXPECT_EQ(enumerate_graphs(2, SIZE_MAX).size(), 2u);
+  EXPECT_EQ(enumerate_graphs(3, SIZE_MAX).size(), 8u);    // 2^3
+  EXPECT_EQ(enumerate_graphs(4, SIZE_MAX).size(), 64u);   // 2^6
+  EXPECT_EQ(enumerate_graphs(4, 1).size(), 7u);           // empty + 6 single
+  EXPECT_THROW(enumerate_graphs(7, SIZE_MAX), EncodeError);
+}
+
+TEST(Universal, ThinFatInducesUniversalGraphN4) {
+  const auto graphs = enumerate_graphs(4, SIZE_MAX);
+  FixedThresholdScheme scheme(2);
+  const auto u = build_universal(scheme, graphs);
+  EXPECT_GT(u.vertices.size(), 4u);
+  for (const Graph& g : graphs) {
+    EXPECT_TRUE(embeds_induced(scheme, g, u));
+  }
+}
+
+TEST(Universal, AdjMatrixInducesUniversalGraphN4) {
+  const auto graphs = enumerate_graphs(4, SIZE_MAX);
+  AdjMatrixScheme scheme;
+  const auto u = build_universal(scheme, graphs);
+  for (const Graph& g : graphs) {
+    EXPECT_TRUE(embeds_induced(scheme, g, u));
+  }
+}
+
+TEST(Universal, SparseFamilyN5) {
+  // c-sparse sub-family: n = 5, at most 5 edges (c = 1).
+  const auto graphs = enumerate_graphs(5, 5);
+  FixedThresholdScheme scheme(3);
+  const auto u = build_universal(scheme, graphs);
+  for (const Graph& g : graphs) {
+    EXPECT_TRUE(embeds_induced(scheme, g, u));
+  }
+}
+
+TEST(Universal, UniversalSizeBoundedByTwoPowerMaxLabel) {
+  // |U| <= 2^{max label bits} — the KNR size bound, checked loosely.
+  const auto graphs = enumerate_graphs(3, SIZE_MAX);
+  FixedThresholdScheme scheme(2);
+  std::size_t max_bits = 0;
+  for (const Graph& g : graphs) {
+    max_bits = std::max(max_bits, scheme.encode(g).stats().max_bits);
+  }
+  const auto u = build_universal(scheme, graphs);
+  EXPECT_LE(u.vertices.size(), std::size_t{1} << max_bits);
+}
+
+}  // namespace
+}  // namespace plg

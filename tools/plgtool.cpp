@@ -1,0 +1,287 @@
+// plgtool — command-line front end for the plg library.
+//
+//   plgtool gen <model> <n> <out.txt> [--alpha A] [--avg D] [--m M]
+//                                     [--seed S]
+//       models: chung-lu | config | ba | pl-exact | er | waxman
+//   plgtool fit <graph.txt>
+//       fit a discrete power law to the degree distribution
+//   plgtool check <graph.txt> --alpha A
+//       P_h / P_l membership reports
+//   plgtool encode <graph.txt> [--alpha A] [--cprime C|fit] [--tau T]
+//       encode with the thin/fat scheme and print label statistics
+//   plgtool query <graph.txt> <u> <v> [--alpha A]
+//       encode, then answer one adjacency query from labels only
+//   plgtool distance <graph.txt> <u> <v> --f F [--alpha A]
+//       Lemma 7 distance labels; prints d(u,v) if <= F, else ">F"
+//   plgtool labels <graph.txt> <out.plgl> [--alpha A] [--cprime C|fit]
+//       encode and persist the label set as a LabelStore blob
+//   plgtool lquery <labels.plgl> <u> <v>
+//       answer an adjacency query straight from a persisted label store
+//       (no graph, no re-encode — labels only)
+//
+// Graph files use the `n m` + edge-per-line text format (src/graph/io.h);
+// a `.bin` suffix selects the binary format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "plg.h"
+
+namespace {
+
+using namespace plg;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  plgtool gen <chung-lu|config|ba|pl-exact|er|waxman> <n> "
+               "<out> [--alpha A] [--avg D] [--m M] [--seed S]\n"
+               "  plgtool fit <graph>\n"
+               "  plgtool check <graph> --alpha A\n"
+               "  plgtool encode <graph> [--alpha A] [--cprime C|fit] "
+               "[--tau T]\n"
+               "  plgtool query <graph> <u> <v> [--alpha A]\n"
+               "  plgtool distance <graph> <u> <v> --f F [--alpha A]\n"
+               "  plgtool labels <graph> <out.plgl> [--alpha A] "
+               "[--cprime C|fit]\n"
+               "  plgtool lquery <labels.plgl> <u> <v>\n");
+  std::exit(2);
+}
+
+/// Minimal flag parser: --key value pairs after the positional args.
+struct Flags {
+  std::optional<double> alpha;
+  std::optional<double> avg;
+  std::optional<std::size_t> m;
+  std::uint64_t seed = 42;
+  std::optional<std::string> cprime;
+  std::optional<std::uint64_t> tau;
+  std::optional<std::uint64_t> f;
+
+  static Flags parse(int argc, char** argv, int first) {
+    Flags f;
+    for (int i = first; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      const char* value = argv[i + 1];
+      if (key == "--alpha") {
+        f.alpha = std::strtod(value, nullptr);
+      } else if (key == "--avg") {
+        f.avg = std::strtod(value, nullptr);
+      } else if (key == "--m") {
+        f.m = std::strtoull(value, nullptr, 10);
+      } else if (key == "--seed") {
+        f.seed = std::strtoull(value, nullptr, 10);
+      } else if (key == "--cprime") {
+        f.cprime = value;
+      } else if (key == "--tau") {
+        f.tau = std::strtoull(value, nullptr, 10);
+      } else if (key == "--f") {
+        f.f = std::strtoull(value, nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+        usage();
+      }
+    }
+    return f;
+  }
+};
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) usage();
+  const std::string model = argv[2];
+  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::string out = argv[4];
+  const Flags f = Flags::parse(argc, argv, 5);
+  Rng rng(f.seed);
+
+  Graph g;
+  if (model == "chung-lu") {
+    g = chung_lu_power_law(n, f.alpha.value_or(2.5), f.avg.value_or(6.0),
+                           rng);
+  } else if (model == "config") {
+    g = config_model_power_law(n, f.alpha.value_or(2.5), rng);
+  } else if (model == "ba") {
+    g = generate_ba(n, f.m.value_or(3), rng).graph;
+  } else if (model == "pl-exact") {
+    g = pl_graph(n, f.alpha.value_or(2.5));
+  } else if (model == "er") {
+    g = erdos_renyi_gnm(
+        n, static_cast<std::size_t>(f.avg.value_or(4.0) * n / 2.0), rng);
+  } else if (model == "waxman") {
+    g = waxman(n, 0.1, 0.3, rng);
+  } else {
+    usage();
+  }
+  save_graph(out, g);
+  std::printf("wrote %s: n=%zu m=%zu max-degree=%zu\n", out.c_str(),
+              g.num_vertices(), g.num_edges(), g.max_degree());
+  return 0;
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load_graph(argv[2]);
+  const PowerLawFit fit = fit_power_law(g);
+  std::printf("n=%zu m=%zu max-degree=%zu\n", g.num_vertices(),
+              g.num_edges(), g.max_degree());
+  std::printf("alpha=%.4f x_min=%llu ks=%.4f tail=%zu\n", fit.alpha,
+              static_cast<unsigned long long>(fit.x_min), fit.ks_distance,
+              fit.tail_size);
+  std::printf("min C' (P_h tail constant) at x_min: %.3f\n",
+              min_Cprime(g, fit.alpha, fit.x_min));
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load_graph(argv[2]);
+  const Flags f = Flags::parse(argc, argv, 3);
+  if (!f.alpha) usage();
+  const auto ph = check_Ph(g, *f.alpha);
+  const auto pl = check_Pl(g, *f.alpha);
+  std::printf("P_h(alpha=%.2f, canonical C'): %s (worst ratio %.3f)%s%s\n",
+              *f.alpha, ph.member ? "member" : "NOT a member",
+              ph.worst_ratio, ph.member ? "" : " — ",
+              ph.violation.c_str());
+  std::printf("P_l(alpha=%.2f): %s%s%s\n", *f.alpha,
+              pl.member ? "member" : "NOT a member", pl.member ? "" : " — ",
+              pl.violation.c_str());
+  return 0;
+}
+
+ThinFatEncoding encode_with_flags(const Graph& g, const Flags& f) {
+  if (f.tau) return thin_fat_encode(g, *f.tau);
+  const double alpha =
+      f.alpha ? *f.alpha : fit_power_law(g).alpha;
+  double c_prime = 1.0;
+  if (f.cprime) {
+    if (*f.cprime == "fit") {
+      c_prime = min_Cprime(g, alpha, fit_power_law(g).x_min);
+    } else {
+      c_prime = std::strtod(f.cprime->c_str(), nullptr);
+    }
+  }
+  PowerLawScheme scheme(alpha, c_prime);
+  return scheme.encode_full(g);
+}
+
+int cmd_encode(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load_graph(argv[2]);
+  const Flags f = Flags::parse(argc, argv, 3);
+  const auto enc = encode_with_flags(g, f);
+  const auto stats = enc.labeling.stats();
+  std::printf("tau=%llu fat=%zu thin=%zu\n",
+              static_cast<unsigned long long>(enc.threshold), enc.num_fat,
+              enc.num_thin);
+  std::printf("labels: max=%zu bits avg=%.1f bits total=%zu bytes\n",
+              stats.max_bits, stats.avg_bits, (stats.total_bits + 7) / 8);
+  std::printf("per-edge space: %.2f bytes\n",
+              g.num_edges() == 0
+                  ? 0.0
+                  : static_cast<double>((stats.total_bits + 7) / 8) /
+                        static_cast<double>(g.num_edges()));
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 5) usage();
+  const Graph g = load_graph(argv[2]);
+  const auto u = static_cast<Vertex>(std::strtoul(argv[3], nullptr, 10));
+  const auto v = static_cast<Vertex>(std::strtoul(argv[4], nullptr, 10));
+  if (u >= g.num_vertices() || v >= g.num_vertices()) {
+    std::fprintf(stderr, "vertex out of range\n");
+    return 1;
+  }
+  const Flags f = Flags::parse(argc, argv, 5);
+  const auto enc = encode_with_flags(g, f);
+  const bool adj = thin_fat_adjacent(enc.labeling[u], enc.labeling[v]);
+  std::printf("adjacent(%u, %u) = %s  (labels: %zu and %zu bits)\n", u, v,
+              adj ? "true" : "false", enc.labeling[u].size_bits(),
+              enc.labeling[v].size_bits());
+  return adj ? 0 : 1;
+}
+
+int cmd_distance(int argc, char** argv) {
+  if (argc < 5) usage();
+  const Graph g = load_graph(argv[2]);
+  const auto u = static_cast<Vertex>(std::strtoul(argv[3], nullptr, 10));
+  const auto v = static_cast<Vertex>(std::strtoul(argv[4], nullptr, 10));
+  if (u >= g.num_vertices() || v >= g.num_vertices()) {
+    std::fprintf(stderr, "vertex out of range\n");
+    return 1;
+  }
+  const Flags f = Flags::parse(argc, argv, 5);
+  const std::uint64_t hops = f.f.value_or(3);
+  const double alpha = f.alpha ? *f.alpha : fit_power_law(g).alpha;
+  DistanceScheme scheme(hops, alpha);
+  const auto enc = scheme.encode(g);
+  const auto stats = enc.labeling.stats();
+  const auto d = DistanceScheme::distance(enc.labeling[u], enc.labeling[v]);
+  if (d) {
+    std::printf("d(%u, %u) = %u\n", u, v, *d);
+  } else {
+    std::printf("d(%u, %u) > %llu (or disconnected)\n", u, v,
+                static_cast<unsigned long long>(hops));
+  }
+  std::printf("labels: f=%llu tau=%llu fat=%zu max=%zu bits avg=%.1f "
+              "bits\n",
+              static_cast<unsigned long long>(enc.f),
+              static_cast<unsigned long long>(enc.threshold), enc.num_fat,
+              stats.max_bits, stats.avg_bits);
+  return d ? 0 : 1;
+}
+
+int cmd_labels(int argc, char** argv) {
+  if (argc < 4) usage();
+  const Graph g = load_graph(argv[2]);
+  const std::string out = argv[3];
+  const Flags f = Flags::parse(argc, argv, 4);
+  const auto enc = encode_with_flags(g, f);
+  LabelStore::save_file(out, enc.labeling);
+  const auto stats = enc.labeling.stats();
+  std::printf("wrote %s: %zu labels, %zu bytes, max label %zu bits\n",
+              out.c_str(), stats.num_labels, (stats.total_bits + 7) / 8,
+              stats.max_bits);
+  return 0;
+}
+
+int cmd_lquery(int argc, char** argv) {
+  if (argc < 5) usage();
+  const LabelStore store = LabelStore::open_file(argv[2]);
+  const auto u = std::strtoull(argv[3], nullptr, 10);
+  const auto v = std::strtoull(argv[4], nullptr, 10);
+  if (u >= store.size() || v >= store.size()) {
+    std::fprintf(stderr, "label index out of range (store holds %zu)\n",
+                 store.size());
+    return 1;
+  }
+  const bool adj = thin_fat_adjacent(store.get(u), store.get(v));
+  std::printf("adjacent(%llu, %llu) = %s\n",
+              static_cast<unsigned long long>(u),
+              static_cast<unsigned long long>(v), adj ? "true" : "false");
+  return adj ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "encode") return cmd_encode(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "distance") return cmd_distance(argc, argv);
+    if (cmd == "labels") return cmd_labels(argc, argv);
+    if (cmd == "lquery") return cmd_lquery(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
