@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ba.dir/bench_ba.cpp.o"
+  "CMakeFiles/bench_ba.dir/bench_ba.cpp.o.d"
+  "bench_ba"
+  "bench_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

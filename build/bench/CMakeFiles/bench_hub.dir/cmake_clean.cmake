@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hub.dir/bench_hub.cpp.o"
+  "CMakeFiles/bench_hub.dir/bench_hub.cpp.o.d"
+  "bench_hub"
+  "bench_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

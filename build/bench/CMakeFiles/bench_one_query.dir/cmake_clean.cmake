@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_query.dir/bench_one_query.cpp.o"
+  "CMakeFiles/bench_one_query.dir/bench_one_query.cpp.o.d"
+  "bench_one_query"
+  "bench_one_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

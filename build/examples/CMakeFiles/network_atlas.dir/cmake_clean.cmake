@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_atlas.dir/network_atlas.cpp.o"
+  "CMakeFiles/network_atlas.dir/network_atlas.cpp.o.d"
+  "network_atlas"
+  "network_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

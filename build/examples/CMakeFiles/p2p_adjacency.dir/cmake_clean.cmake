@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_adjacency.dir/p2p_adjacency.cpp.o"
+  "CMakeFiles/p2p_adjacency.dir/p2p_adjacency.cpp.o.d"
+  "p2p_adjacency"
+  "p2p_adjacency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ba_online_scheme.cpp" "src/core/CMakeFiles/plg_core.dir/ba_online_scheme.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/ba_online_scheme.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/plg_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/distance_baseline.cpp" "src/core/CMakeFiles/plg_core.dir/distance_baseline.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/distance_baseline.cpp.o.d"
+  "/root/repo/src/core/distance_scheme.cpp" "src/core/CMakeFiles/plg_core.dir/distance_scheme.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/distance_scheme.cpp.o.d"
+  "/root/repo/src/core/dynamic_scheme.cpp" "src/core/CMakeFiles/plg_core.dir/dynamic_scheme.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/dynamic_scheme.cpp.o.d"
+  "/root/repo/src/core/forest_scheme.cpp" "src/core/CMakeFiles/plg_core.dir/forest_scheme.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/forest_scheme.cpp.o.d"
+  "/root/repo/src/core/hub_labeling.cpp" "src/core/CMakeFiles/plg_core.dir/hub_labeling.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/hub_labeling.cpp.o.d"
+  "/root/repo/src/core/hybrid_scheme.cpp" "src/core/CMakeFiles/plg_core.dir/hybrid_scheme.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/hybrid_scheme.cpp.o.d"
+  "/root/repo/src/core/label.cpp" "src/core/CMakeFiles/plg_core.dir/label.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/label.cpp.o.d"
+  "/root/repo/src/core/label_store.cpp" "src/core/CMakeFiles/plg_core.dir/label_store.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/label_store.cpp.o.d"
+  "/root/repo/src/core/labeling.cpp" "src/core/CMakeFiles/plg_core.dir/labeling.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/labeling.cpp.o.d"
+  "/root/repo/src/core/one_query.cpp" "src/core/CMakeFiles/plg_core.dir/one_query.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/one_query.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/plg_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/plg_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/schemes.cpp.o.d"
+  "/root/repo/src/core/thin_fat.cpp" "src/core/CMakeFiles/plg_core.dir/thin_fat.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/thin_fat.cpp.o.d"
+  "/root/repo/src/core/universal.cpp" "src/core/CMakeFiles/plg_core.dir/universal.cpp.o" "gcc" "src/core/CMakeFiles/plg_core.dir/universal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/plg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerlaw/CMakeFiles/plg_powerlaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/plg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

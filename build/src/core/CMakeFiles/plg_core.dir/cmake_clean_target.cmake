@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplg_core.a"
+)

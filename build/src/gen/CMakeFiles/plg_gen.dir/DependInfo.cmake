@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/ba.cpp" "src/gen/CMakeFiles/plg_gen.dir/ba.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/ba.cpp.o.d"
+  "/root/repo/src/gen/chung_lu.cpp" "src/gen/CMakeFiles/plg_gen.dir/chung_lu.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/chung_lu.cpp.o.d"
+  "/root/repo/src/gen/config_model.cpp" "src/gen/CMakeFiles/plg_gen.dir/config_model.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/config_model.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/gen/CMakeFiles/plg_gen.dir/erdos_renyi.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/hierarchical.cpp" "src/gen/CMakeFiles/plg_gen.dir/hierarchical.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/gen/lower_bound.cpp" "src/gen/CMakeFiles/plg_gen.dir/lower_bound.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/gen/pl_sequence.cpp" "src/gen/CMakeFiles/plg_gen.dir/pl_sequence.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/pl_sequence.cpp.o.d"
+  "/root/repo/src/gen/waxman.cpp" "src/gen/CMakeFiles/plg_gen.dir/waxman.cpp.o" "gcc" "src/gen/CMakeFiles/plg_gen.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/plg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerlaw/CMakeFiles/plg_powerlaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plg_gen.dir/ba.cpp.o"
+  "CMakeFiles/plg_gen.dir/ba.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/chung_lu.cpp.o"
+  "CMakeFiles/plg_gen.dir/chung_lu.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/config_model.cpp.o"
+  "CMakeFiles/plg_gen.dir/config_model.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/plg_gen.dir/erdos_renyi.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/hierarchical.cpp.o"
+  "CMakeFiles/plg_gen.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/lower_bound.cpp.o"
+  "CMakeFiles/plg_gen.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/pl_sequence.cpp.o"
+  "CMakeFiles/plg_gen.dir/pl_sequence.cpp.o.d"
+  "CMakeFiles/plg_gen.dir/waxman.cpp.o"
+  "CMakeFiles/plg_gen.dir/waxman.cpp.o.d"
+  "libplg_gen.a"
+  "libplg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

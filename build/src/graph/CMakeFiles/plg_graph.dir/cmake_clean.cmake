@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plg_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/plg_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/plg_graph.dir/degree.cpp.o"
+  "CMakeFiles/plg_graph.dir/degree.cpp.o.d"
+  "CMakeFiles/plg_graph.dir/forest_decomposition.cpp.o"
+  "CMakeFiles/plg_graph.dir/forest_decomposition.cpp.o.d"
+  "CMakeFiles/plg_graph.dir/graph.cpp.o"
+  "CMakeFiles/plg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/plg_graph.dir/io.cpp.o"
+  "CMakeFiles/plg_graph.dir/io.cpp.o.d"
+  "libplg_graph.a"
+  "libplg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powerlaw/constants.cpp" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/constants.cpp.o" "gcc" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/constants.cpp.o.d"
+  "/root/repo/src/powerlaw/family.cpp" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/family.cpp.o" "gcc" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/family.cpp.o.d"
+  "/root/repo/src/powerlaw/fit.cpp" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/fit.cpp.o" "gcc" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/fit.cpp.o.d"
+  "/root/repo/src/powerlaw/threshold.cpp" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/threshold.cpp.o" "gcc" "src/powerlaw/CMakeFiles/plg_powerlaw.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/plg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

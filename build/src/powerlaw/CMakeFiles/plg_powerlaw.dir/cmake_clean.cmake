@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plg_powerlaw.dir/constants.cpp.o"
+  "CMakeFiles/plg_powerlaw.dir/constants.cpp.o.d"
+  "CMakeFiles/plg_powerlaw.dir/family.cpp.o"
+  "CMakeFiles/plg_powerlaw.dir/family.cpp.o.d"
+  "CMakeFiles/plg_powerlaw.dir/fit.cpp.o"
+  "CMakeFiles/plg_powerlaw.dir/fit.cpp.o.d"
+  "CMakeFiles/plg_powerlaw.dir/threshold.cpp.o"
+  "CMakeFiles/plg_powerlaw.dir/threshold.cpp.o.d"
+  "libplg_powerlaw.a"
+  "libplg_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plg_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

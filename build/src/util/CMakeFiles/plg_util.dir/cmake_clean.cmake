@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plg_util.dir/bit_stream.cpp.o"
+  "CMakeFiles/plg_util.dir/bit_stream.cpp.o.d"
+  "CMakeFiles/plg_util.dir/bitvector.cpp.o"
+  "CMakeFiles/plg_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/plg_util.dir/mathx.cpp.o"
+  "CMakeFiles/plg_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/plg_util.dir/random.cpp.o"
+  "CMakeFiles/plg_util.dir/random.cpp.o.d"
+  "libplg_util.a"
+  "libplg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithms.cpp" "tests/CMakeFiles/plg_tests.dir/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_ba_online.cpp" "tests/CMakeFiles/plg_tests.dir/test_ba_online.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_ba_online.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/plg_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_bit_stream.cpp" "tests/CMakeFiles/plg_tests.dir/test_bit_stream.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_bit_stream.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/plg_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_bitvector.cpp" "tests/CMakeFiles/plg_tests.dir/test_bitvector.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_bitvector.cpp.o.d"
+  "/root/repo/tests/test_bounds_sweep.cpp" "tests/CMakeFiles/plg_tests.dir/test_bounds_sweep.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_bounds_sweep.cpp.o.d"
+  "/root/repo/tests/test_constants.cpp" "tests/CMakeFiles/plg_tests.dir/test_constants.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_constants.cpp.o.d"
+  "/root/repo/tests/test_degree.cpp" "tests/CMakeFiles/plg_tests.dir/test_degree.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_degree.cpp.o.d"
+  "/root/repo/tests/test_distance.cpp" "tests/CMakeFiles/plg_tests.dir/test_distance.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_distance.cpp.o.d"
+  "/root/repo/tests/test_dynamic.cpp" "tests/CMakeFiles/plg_tests.dir/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_dynamic.cpp.o.d"
+  "/root/repo/tests/test_family.cpp" "tests/CMakeFiles/plg_tests.dir/test_family.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_family.cpp.o.d"
+  "/root/repo/tests/test_fit.cpp" "tests/CMakeFiles/plg_tests.dir/test_fit.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_fit.cpp.o.d"
+  "/root/repo/tests/test_forest_decomposition.cpp" "tests/CMakeFiles/plg_tests.dir/test_forest_decomposition.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_forest_decomposition.cpp.o.d"
+  "/root/repo/tests/test_forest_scheme.cpp" "tests/CMakeFiles/plg_tests.dir/test_forest_scheme.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_forest_scheme.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/plg_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/plg_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/plg_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/plg_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hierarchical.cpp" "tests/CMakeFiles/plg_tests.dir/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/test_hub_labeling.cpp" "tests/CMakeFiles/plg_tests.dir/test_hub_labeling.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_hub_labeling.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/plg_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/plg_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/plg_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_label_store.cpp" "tests/CMakeFiles/plg_tests.dir/test_label_store.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_label_store.cpp.o.d"
+  "/root/repo/tests/test_lower_bound.cpp" "tests/CMakeFiles/plg_tests.dir/test_lower_bound.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/test_mathx.cpp" "tests/CMakeFiles/plg_tests.dir/test_mathx.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_mathx.cpp.o.d"
+  "/root/repo/tests/test_one_query.cpp" "tests/CMakeFiles/plg_tests.dir/test_one_query.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_one_query.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/plg_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pl_sequence.cpp" "tests/CMakeFiles/plg_tests.dir/test_pl_sequence.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_pl_sequence.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/plg_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/plg_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_scheme_matrix.cpp" "tests/CMakeFiles/plg_tests.dir/test_scheme_matrix.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_scheme_matrix.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/plg_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_thin_fat.cpp" "tests/CMakeFiles/plg_tests.dir/test_thin_fat.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_thin_fat.cpp.o.d"
+  "/root/repo/tests/test_threshold.cpp" "tests/CMakeFiles/plg_tests.dir/test_threshold.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_threshold.cpp.o.d"
+  "/root/repo/tests/test_universal.cpp" "tests/CMakeFiles/plg_tests.dir/test_universal.cpp.o" "gcc" "tests/CMakeFiles/plg_tests.dir/test_universal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/plg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/plg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerlaw/CMakeFiles/plg_powerlaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/plg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plgtool.dir/plgtool.cpp.o"
+  "CMakeFiles/plgtool.dir/plgtool.cpp.o.d"
+  "plgtool"
+  "plgtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plgtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
