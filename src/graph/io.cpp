@@ -1,18 +1,85 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "util/errors.h"
+#include "util/fault_injection.h"
 
 namespace plg {
+
+namespace {
+
+// Anti-allocation-bomb policy: a deserializer may pre-allocate at most
+// max(kAllocFloor, kAllocFactor x remaining stream bytes) from declared
+// counts. Isolated vertices are free on the wire, so some slack over the
+// literal stream size is legitimate; 64x covers every real graph this
+// library produces while keeping a corrupt 8-byte header from driving a
+// multi-GB allocation.
+constexpr std::uint64_t kAllocFloor = 1ull << 20;  // 1 MiB
+constexpr std::uint64_t kAllocFactor = 64;
+
+/// Bytes left in `is` from the current position, when the stream is
+/// seekable; nullopt otherwise. Restores the read position and stream
+/// state.
+std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (!is || pos == std::istream::pos_type(-1)) {
+    is.clear();
+    return std::nullopt;
+  }
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (!is || end == std::istream::pos_type(-1) || end < pos) {
+    is.clear();
+    is.seekg(pos);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+/// Validates header-declared counts against the stream that must back
+/// them, before anything is allocated. `min_edge_bytes` is the smallest
+/// possible wire size of one edge in the calling format.
+void check_declared_counts(std::uint64_t n, std::uint64_t m,
+                           std::optional<std::uint64_t> remaining,
+                           std::uint64_t min_edge_bytes, const char* what) {
+  if (n > std::numeric_limits<Vertex>::max()) {
+    throw DecodeError(std::string(what) +
+                      ": declared vertex count exceeds 32-bit id space");
+  }
+  if (remaining) {
+    if (m > *remaining / min_edge_bytes) {
+      throw DecodeError(std::string(what) + ": declared edge count " +
+                        std::to_string(m) + " exceeds stream size");
+    }
+    const std::uint64_t budget =
+        std::max(kAllocFloor, kAllocFactor * *remaining);
+    if ((n + 1) * sizeof(std::uint64_t) > budget) {
+      throw DecodeError(std::string(what) + ": declared vertex count " +
+                        std::to_string(n) +
+                        " implies allocations far beyond stream size");
+    }
+  }
+  fault::check_untrusted_alloc((n + 1) * sizeof(std::uint64_t) +
+                                   m * sizeof(Edge),
+                               what);
+}
+
+}  // namespace
 
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << g.num_vertices() << ' ' << g.num_edges() << '\n';
   for (const Edge& e : g.edge_list()) {
     os << e.u << ' ' << e.v << '\n';
   }
+  os.flush();
+  if (!os) throw EncodeError("write_edge_list: stream write failed");
 }
 
 Graph read_edge_list(std::istream& is) {
@@ -31,6 +98,9 @@ Graph read_edge_list(std::istream& is) {
   if (!(header >> n >> m)) {
     throw DecodeError("read_edge_list: malformed header");
   }
+  // The smallest edge line is "0 1" plus a newline; 3 bytes is a safe
+  // lower bound even for a final line without one.
+  check_declared_counts(n, m, remaining_bytes(is), 3, "read_edge_list");
   GraphBuilder builder(n);
   for (std::uint64_t i = 0; i < m; ++i) {
     if (!next_data_line()) {
@@ -68,11 +138,17 @@ void write_binary(std::ostream& os, const Graph& g) {
     put<std::uint32_t>(os, e.u);
     put<std::uint32_t>(os, e.v);
   }
+  os.flush();
+  if (!os) throw EncodeError("write_binary: stream write failed");
 }
 
 Graph read_binary(std::istream& is) {
   const auto n = get<std::uint64_t>(is);
   const auto m = get<std::uint64_t>(is);
+  // Each edge is exactly 8 bytes on the wire; the declared counts must be
+  // backed by actual stream content before any allocation happens.
+  check_declared_counts(n, m, remaining_bytes(is), 2 * sizeof(std::uint32_t),
+                        "read_binary");
   GraphBuilder builder(n);
   for (std::uint64_t i = 0; i < m; ++i) {
     const auto u = get<std::uint32_t>(is);
@@ -86,20 +162,37 @@ Graph read_binary(std::istream& is) {
 Graph load_graph(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw DecodeError("load_graph: cannot open " + path);
-  if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
-    return read_binary(in);
+  const bool binary =
+      path.size() >= 4 && path.substr(path.size() - 4) == ".bin";
+  if (fault::enabled()) {
+    // Route through the fault wrapper so injected truncations and short
+    // reads hit the same parsing paths as real channel failures.
+    fault::FaultInputStream faulty(in, fault::active_plan());
+    return binary ? read_binary(faulty) : read_edge_list(faulty);
   }
-  return read_edge_list(in);
+  return binary ? read_binary(in) : read_edge_list(in);
 }
 
 void save_graph(const std::string& path, const Graph& g) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw EncodeError("save_graph: cannot open " + path);
-  if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
-    write_binary(out, g);
+  const bool binary =
+      path.size() >= 4 && path.substr(path.size() - 4) == ".bin";
+  auto write_to = [&](std::ostream& os) {
+    if (binary) {
+      write_binary(os, g);
+    } else {
+      write_edge_list(os, g);
+    }
+  };
+  if (fault::enabled()) {
+    fault::FaultOutputStream faulty(out, fault::active_plan());
+    write_to(faulty);
   } else {
-    write_edge_list(out, g);
+    write_to(out);
   }
+  out.flush();
+  if (!out) throw EncodeError("save_graph: write failed for " + path);
 }
 
 }  // namespace plg

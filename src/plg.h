@@ -44,6 +44,8 @@
 #include "util/bit_stream.h"
 #include "util/bits.h"
 #include "util/bitvector.h"
+#include "util/crc32.h"
 #include "util/errors.h"
+#include "util/fault_injection.h"
 #include "util/mathx.h"
 #include "util/random.h"

@@ -1,0 +1,68 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace plg {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC-32C, reflected
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tb.t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      crc = tb.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tb.t[k][i] = crc;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  // Align to 8 bytes one byte at a time.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  // Slice-by-8 main loop: two 32-bit halves looked up through 8 tables.
+  while (len >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace plg

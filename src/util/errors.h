@@ -5,6 +5,7 @@
 // external input throw; internal invariants are guarded with assertions.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -15,6 +16,28 @@ namespace plg {
 class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// DecodeError specialization for integrity failures in persisted
+/// artifacts (checksum mismatch, impossible section size). Carries the
+/// failing section's name and the byte offset where it starts so that
+/// tooling (`plgtool verify`) can point at the corruption, not just
+/// report "bad blob".
+class CorruptionError : public DecodeError {
+ public:
+  CorruptionError(const std::string& section, std::uint64_t byte_offset,
+                  const std::string& detail)
+      : DecodeError("corruption in section '" + section + "' at byte offset " +
+                    std::to_string(byte_offset) + ": " + detail),
+        section_(section),
+        byte_offset_(byte_offset) {}
+
+  const std::string& section() const noexcept { return section_; }
+  std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::string section_;
+  std::uint64_t byte_offset_;
 };
 
 /// Thrown when an encoder is given a graph outside its supported family

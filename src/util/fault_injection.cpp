@@ -1,0 +1,183 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/errors.h"
+
+namespace plg::fault {
+
+namespace {
+
+// splitmix64 — tiny, deterministic, and independent of plg::Rng so that
+// corruption patterns never change if the library RNG evolves.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::atomic<bool> g_enabled{false};
+FaultPlan g_plan;
+
+}  // namespace
+
+FaultPlan FaultPlan::parse_spec(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    std::uint64_t v = 0;
+    try {
+      v = std::stoull(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultPlan: bad value for '" + key + "'");
+    }
+    if (key == "seed") {
+      plan.seed = v;
+    } else if (key == "flips") {
+      plan.bit_flips = static_cast<std::uint32_t>(v);
+    } else if (key == "truncate") {
+      plan.truncate_at = v;
+    } else if (key == "short-read") {
+      plan.short_read_every = v;
+    } else if (key == "write-fail") {
+      plan.write_fail_after = v;
+    } else if (key == "alloc-cap") {
+      plan.alloc_cap = v;
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+void enable(const FaultPlan& plan) {
+  g_plan = plan;
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_release); }
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_acquire); }
+
+const FaultPlan& active_plan() noexcept { return g_plan; }
+
+void corrupt_buffer(std::vector<std::uint8_t>& bytes, const FaultPlan& plan) {
+  if (plan.truncate_at && *plan.truncate_at < bytes.size()) {
+    bytes.resize(static_cast<std::size_t>(*plan.truncate_at));
+  }
+  if (plan.bit_flips > 0 && !bytes.empty()) {
+    std::uint64_t state = plan.seed;
+    for (std::uint32_t i = 0; i < plan.bit_flips; ++i) {
+      const std::uint64_t bit = splitmix64(state) % (bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+}
+
+void on_read_buffer(std::vector<std::uint8_t>& bytes) {
+  if (!enabled()) return;
+  corrupt_buffer(bytes, g_plan);
+}
+
+bool should_fail_write(std::uint64_t bytes_written) noexcept {
+  if (!enabled()) return false;
+  return g_plan.write_fail_after && bytes_written >= *g_plan.write_fail_after;
+}
+
+void check_untrusted_alloc(std::uint64_t bytes, const char* what) {
+  if (!enabled()) return;
+  if (g_plan.alloc_cap && bytes > *g_plan.alloc_cap) {
+    throw DecodeError(std::string(what) + ": declared size needs " +
+                      std::to_string(bytes) +
+                      " bytes, over the injected allocation cap of " +
+                      std::to_string(*g_plan.alloc_cap));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInputStream
+
+FaultInputStream::FaultInputStream(std::istream& source, const FaultPlan& plan)
+    : std::istream(nullptr), buf_(source.rdbuf(), plan) {
+  rdbuf(&buf_);
+}
+
+std::streambuf::int_type FaultInputStream::Buf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ++reads_;
+  std::streamsize want = static_cast<std::streamsize>(sizeof(chunk_));
+  if (plan_.short_read_every > 0 && reads_ % plan_.short_read_every == 0) {
+    want = 1;  // injected short read
+  }
+  if (plan_.truncate_at) {
+    if (delivered_ >= *plan_.truncate_at) return traits_type::eof();
+    want = std::min<std::streamsize>(
+        want, static_cast<std::streamsize>(*plan_.truncate_at - delivered_));
+  }
+  const std::streamsize got = source_->sgetn(chunk_, want);
+  if (got <= 0) return traits_type::eof();
+  delivered_ += static_cast<std::uint64_t>(got);
+  setg(chunk_, chunk_, chunk_ + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+// ---------------------------------------------------------------------------
+// FaultOutputStream
+
+FaultOutputStream::FaultOutputStream(std::ostream& sink, const FaultPlan& plan)
+    : std::ostream(nullptr), buf_(sink.rdbuf(), plan) {
+  rdbuf(&buf_);
+}
+
+bool FaultOutputStream::Buf::write_allowed(std::streamsize n,
+                                           std::streamsize& allowed) noexcept {
+  allowed = n;
+  if (!plan_.write_fail_after) return true;
+  if (written_ >= *plan_.write_fail_after) {
+    allowed = 0;
+    return false;
+  }
+  allowed = std::min<std::streamsize>(
+      n, static_cast<std::streamsize>(*plan_.write_fail_after - written_));
+  return true;
+}
+
+std::streambuf::int_type FaultOutputStream::Buf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+  std::streamsize allowed = 0;
+  write_allowed(1, allowed);
+  if (allowed < 1) return traits_type::eof();
+  const char c = traits_type::to_char_type(ch);
+  if (sink_->sputc(c) == traits_type::eof()) return traits_type::eof();
+  ++written_;
+  return ch;
+}
+
+std::streamsize FaultOutputStream::Buf::xsputn(const char* s,
+                                               std::streamsize n) {
+  std::streamsize allowed = 0;
+  write_allowed(n, allowed);
+  if (allowed <= 0) return 0;
+  const std::streamsize put = sink_->sputn(s, allowed);
+  if (put > 0) written_ += static_cast<std::uint64_t>(put);
+  // Returning fewer bytes than requested makes the ostream set badbit.
+  return put == n ? n : put;
+}
+
+}  // namespace plg::fault

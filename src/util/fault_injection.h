@@ -1,0 +1,167 @@
+// Deterministic fault injection for the persistence layer.
+//
+// The library's failure contract ("throw DecodeError/EncodeError or return
+// a possibly-wrong answer — never crash") is only as good as the faults it
+// has been proven against. This facility makes faults first-class and
+// reproducible:
+//
+//   * FaultPlan — a seedable description of what goes wrong: bit flips,
+//     truncation, short reads, write failures, allocation caps. The same
+//     plan always produces the same corruption (splitmix64-driven).
+//   * Pure helpers (corrupt_buffer) — apply a plan to an in-memory blob;
+//     this is what the table-driven fuzz suite uses.
+//   * A process-global failpoint — enable(plan)/disable() let plgtool and
+//     integration tests inject faults into the real I/O paths
+//     (LabelStore::open_file, load_graph, save paths) without changing
+//     their signatures. Compiled in always; when disabled the hooks cost
+//     one relaxed atomic load and no branches beyond it.
+//   * Stream wrappers (FaultInputStream / FaultOutputStream) — std::istream
+//     / std::ostream adapters that truncate, shorten reads, or fail writes
+//     according to a plan, for exercising stream-state error handling.
+//   * check_untrusted_alloc — a guard the deserializers call before any
+//     allocation whose size is controlled by untrusted input; under an
+//     active alloc cap it throws DecodeError instead of letting a corrupt
+//     header drive a multi-GB allocation.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plg::fault {
+
+/// A deterministic description of injected faults. Default-constructed
+/// plans inject nothing; each knob is independent.
+struct FaultPlan {
+  /// Seed for all randomized choices (bit positions). Same seed, same
+  /// buffer size => same corruption.
+  std::uint64_t seed = 1;
+
+  /// Number of uniformly random bit flips applied to a buffer.
+  std::uint32_t bit_flips = 0;
+
+  /// Cut a buffer / input stream to this many bytes.
+  std::optional<std::uint64_t> truncate_at;
+
+  /// When k > 0, input streams deliver at most one byte per underflow on
+  /// every k-th read call (exercises partial-read handling).
+  std::uint64_t short_read_every = 0;
+
+  /// Output streams fail (badbit) after this many bytes are written —
+  /// a deterministic "disk full".
+  std::optional<std::uint64_t> write_fail_after;
+
+  /// Cap, in bytes, on any single untrusted-input-driven allocation.
+  /// Deserializers consult this through check_untrusted_alloc().
+  std::optional<std::uint64_t> alloc_cap;
+
+  /// Parses a "key=value,key=value" spec, e.g.
+  ///   "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,alloc-cap=1048576"
+  /// Unknown keys or malformed values throw std::invalid_argument.
+  static FaultPlan parse_spec(const std::string& spec);
+};
+
+// ---------------------------------------------------------------------------
+// Process-global failpoint. Not thread-safe to reconfigure concurrently
+// with I/O, but reading the disabled fast path is safe from any thread.
+
+/// Installs `plan` as the active global fault plan.
+void enable(const FaultPlan& plan);
+
+/// Removes the active plan; all hooks become no-ops again.
+void disable();
+
+/// True iff a plan is active. The fast path everywhere else.
+bool enabled() noexcept;
+
+/// The active plan. Only meaningful while enabled().
+const FaultPlan& active_plan() noexcept;
+
+/// RAII: enables a plan for the current scope (tests).
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan) { enable(plan); }
+  ~ScopedFault() { disable(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Pure, deterministic corruption helpers (no global state).
+
+/// Applies the plan's buffer faults to `bytes`: truncation first, then
+/// `bit_flips` random flips driven by `plan.seed`.
+void corrupt_buffer(std::vector<std::uint8_t>& bytes, const FaultPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Hooks for the persistence layer. All are no-ops unless enabled().
+
+/// Applies the active plan's buffer faults to a freshly read blob.
+void on_read_buffer(std::vector<std::uint8_t>& bytes);
+
+/// True when the active plan says a write at offset `bytes_written` fails.
+bool should_fail_write(std::uint64_t bytes_written) noexcept;
+
+/// Guard for allocations sized by untrusted input. Throws DecodeError
+/// (message names `what` and the requested size) when an active alloc cap
+/// is exceeded; otherwise returns. Costs one atomic load when disabled.
+void check_untrusted_alloc(std::uint64_t bytes, const char* what);
+
+// ---------------------------------------------------------------------------
+// Stream wrappers (explicit-plan; usable without the global failpoint).
+
+/// Input stream that reads from `source` but truncates at
+/// plan.truncate_at and shortens every plan.short_read_every-th read.
+class FaultInputStream : public std::istream {
+ public:
+  FaultInputStream(std::istream& source, const FaultPlan& plan);
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    Buf(std::streambuf* source, const FaultPlan& plan)
+        : source_(source), plan_(plan) {}
+
+   protected:
+    int_type underflow() override;
+
+   private:
+    std::streambuf* source_;
+    FaultPlan plan_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t reads_ = 0;
+    char chunk_[256];
+  };
+  Buf buf_;
+};
+
+/// Output stream that forwards to `sink` until plan.write_fail_after bytes
+/// have been written, then fails every subsequent write (sticky badbit in
+/// the wrapping ostream).
+class FaultOutputStream : public std::ostream {
+ public:
+  FaultOutputStream(std::ostream& sink, const FaultPlan& plan);
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    Buf(std::streambuf* sink, const FaultPlan& plan)
+        : sink_(sink), plan_(plan) {}
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+   private:
+    bool write_allowed(std::streamsize n, std::streamsize& allowed) noexcept;
+    std::streambuf* sink_;
+    FaultPlan plan_;
+    std::uint64_t written_ = 0;
+  };
+  Buf buf_;
+};
+
+}  // namespace plg::fault

@@ -1,0 +1,238 @@
+// The fault-injection facility itself must be trustworthy: deterministic
+// (same plan, same corruption), correctly scoped (zero effect when
+// disabled), and its stream wrappers must produce exactly the failure
+// modes the persistence layer claims to survive.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/label_store.h"
+#include "core/thin_fat.h"
+#include "gen/erdos_renyi.h"
+#include "graph/io.h"
+#include "util/errors.h"
+#include "util/random.h"
+
+namespace plg {
+namespace {
+
+using fault::FaultPlan;
+
+std::vector<std::uint8_t> sample_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+  return bytes;
+}
+
+TEST(FaultPlanSpec, ParsesAllKeys) {
+  const FaultPlan p = FaultPlan::parse_spec(
+      "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,"
+      "alloc-cap=1048576");
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_EQ(p.bit_flips, 3u);
+  ASSERT_TRUE(p.truncate_at.has_value());
+  EXPECT_EQ(*p.truncate_at, 128u);
+  EXPECT_EQ(p.short_read_every, 4u);
+  ASSERT_TRUE(p.write_fail_after.has_value());
+  EXPECT_EQ(*p.write_fail_after, 64u);
+  ASSERT_TRUE(p.alloc_cap.has_value());
+  EXPECT_EQ(*p.alloc_cap, 1048576u);
+}
+
+TEST(FaultPlanSpec, EmptyAndPartialSpecs) {
+  const FaultPlan empty = FaultPlan::parse_spec("");
+  EXPECT_EQ(empty.bit_flips, 0u);
+  EXPECT_FALSE(empty.truncate_at.has_value());
+  const FaultPlan one = FaultPlan::parse_spec("flips=2");
+  EXPECT_EQ(one.bit_flips, 2u);
+}
+
+TEST(FaultPlanSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse_spec("flips"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_spec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_spec("flips=xyz"), std::invalid_argument);
+}
+
+TEST(CorruptBuffer, DeterministicPerSeed) {
+  const auto original = sample_bytes(512, 11);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.bit_flips = 5;
+  auto a = original;
+  auto b = original;
+  fault::corrupt_buffer(a, plan);
+  fault::corrupt_buffer(b, plan);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, original);
+
+  plan.seed = 43;
+  auto c = original;
+  fault::corrupt_buffer(c, plan);
+  EXPECT_NE(c, a);  // different seed, different corruption
+}
+
+TEST(CorruptBuffer, TruncationBeforeFlips) {
+  auto bytes = sample_bytes(256, 13);
+  FaultPlan plan;
+  plan.truncate_at = 100;
+  plan.bit_flips = 3;
+  fault::corrupt_buffer(bytes, plan);
+  EXPECT_EQ(bytes.size(), 100u);
+}
+
+TEST(CorruptBuffer, NoFaultsNoChange) {
+  const auto original = sample_bytes(128, 17);
+  auto copy = original;
+  fault::corrupt_buffer(copy, FaultPlan{});
+  EXPECT_EQ(copy, original);
+}
+
+TEST(GlobalFailpoint, DisabledByDefaultAndScoped) {
+  EXPECT_FALSE(fault::enabled());
+  {
+    FaultPlan plan;
+    plan.bit_flips = 1;
+    fault::ScopedFault scope(plan);
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_EQ(fault::active_plan().bit_flips, 1u);
+  }
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(GlobalFailpoint, HooksAreNoOpsWhenDisabled) {
+  auto bytes = sample_bytes(64, 19);
+  const auto original = bytes;
+  fault::on_read_buffer(bytes);
+  EXPECT_EQ(bytes, original);
+  EXPECT_FALSE(fault::should_fail_write(0));
+  EXPECT_NO_THROW(
+      fault::check_untrusted_alloc(std::uint64_t{1} << 60, "test"));
+}
+
+TEST(GlobalFailpoint, AllocCapThrowsDecodeError) {
+  FaultPlan plan;
+  plan.alloc_cap = 1024;
+  fault::ScopedFault scope(plan);
+  EXPECT_NO_THROW(fault::check_untrusted_alloc(1024, "test"));
+  EXPECT_THROW(fault::check_untrusted_alloc(1025, "test"), DecodeError);
+}
+
+TEST(FaultInputStream, TruncatesAtPlanLimit) {
+  const std::string payload(1000, 'x');
+  std::istringstream source(payload);
+  FaultPlan plan;
+  plan.truncate_at = 137;
+  fault::FaultInputStream in(source, plan);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got.size(), 137u);
+  EXPECT_EQ(got, payload.substr(0, 137));
+}
+
+TEST(FaultInputStream, ShortReadsPreserveContent) {
+  // Short reads slow delivery down but must not reorder or drop bytes —
+  // they exercise partial-read handling, not corruption.
+  const auto bytes = sample_bytes(4000, 23);
+  std::string payload(bytes.begin(), bytes.end());
+  std::istringstream source(payload);
+  FaultPlan plan;
+  plan.short_read_every = 2;
+  fault::FaultInputStream in(source, plan);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FaultOutputStream, FailsAfterLimitAndSinkSeesPrefixOnly) {
+  std::ostringstream sink;
+  FaultPlan plan;
+  plan.write_fail_after = 100;
+  fault::FaultOutputStream out(sink, plan);
+  const std::string payload(300, 'y');
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_FALSE(out.good());
+  EXPECT_LE(sink.str().size(), 100u);
+}
+
+TEST(FaultOutputStream, NoLimitPassesThrough) {
+  std::ostringstream sink;
+  fault::FaultOutputStream out(sink, FaultPlan{});
+  out << "hello " << 42;
+  out.flush();
+  EXPECT_TRUE(out.good());
+  EXPECT_EQ(sink.str(), "hello 42");
+}
+
+// --- End-to-end: the persistence layer under the global failpoint. ------
+
+Graph small_graph() {
+  Rng rng(31);
+  return erdos_renyi_gnm(60, 150, rng);
+}
+
+TEST(FailpointEndToEnd, SaveGraphDiskFullThrowsEncodeError) {
+  const Graph g = small_graph();
+  const std::string path = testing::TempDir() + "/plg_fault_graph.txt";
+  FaultPlan plan;
+  plan.write_fail_after = 32;
+  fault::ScopedFault scope(plan);
+  EXPECT_THROW(save_graph(path, g), EncodeError);
+}
+
+TEST(FailpointEndToEnd, LoadGraphTruncationThrowsDecodeError) {
+  const Graph g = small_graph();
+  const std::string path = testing::TempDir() + "/plg_fault_graph2.txt";
+  save_graph(path, g);
+  FaultPlan plan;
+  plan.truncate_at = 40;
+  fault::ScopedFault scope(plan);
+  EXPECT_THROW(load_graph(path), DecodeError);
+}
+
+TEST(FailpointEndToEnd, LoadGraphShortReadsStillCorrect) {
+  const Graph g = small_graph();
+  const std::string path = testing::TempDir() + "/plg_fault_graph3.txt";
+  save_graph(path, g);
+  FaultPlan plan;
+  plan.short_read_every = 3;
+  fault::ScopedFault scope(plan);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+}
+
+TEST(FailpointEndToEnd, LabelStoreSaveDiskFullThrowsEncodeError) {
+  const auto enc = thin_fat_encode(small_graph(), 6);
+  const std::string path = testing::TempDir() + "/plg_fault_store.plgl";
+  FaultPlan plan;
+  plan.write_fail_after = 64;
+  fault::ScopedFault scope(plan);
+  EXPECT_THROW(LabelStore::save_file(path, enc.labeling), EncodeError);
+}
+
+TEST(FailpointEndToEnd, LabelStoreOpenBitFlipDetected) {
+  const auto enc = thin_fat_encode(small_graph(), 6);
+  const std::string path = testing::TempDir() + "/plg_fault_store2.plgl";
+  LabelStore::save_file(path, enc.labeling);
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.bit_flips = 1;
+  fault::ScopedFault scope(plan);
+  EXPECT_THROW(LabelStore::open_file(path), DecodeError);
+}
+
+TEST(FailpointEndToEnd, LabelStoreAllocCapRejectsNotAllocates) {
+  const auto enc = thin_fat_encode(small_graph(), 6);
+  const std::string path = testing::TempDir() + "/plg_fault_store3.plgl";
+  LabelStore::save_file(path, enc.labeling);
+  FaultPlan plan;
+  plan.alloc_cap = 16;  // far below what the store legitimately needs
+  fault::ScopedFault scope(plan);
+  EXPECT_THROW(LabelStore::open_file(path), DecodeError);
+}
+
+}  // namespace
+}  // namespace plg

@@ -103,5 +103,180 @@ TEST(LabelStore, FileRoundTrip) {
   EXPECT_THROW(LabelStore::open_file("/nonexistent/x.plgl"), DecodeError);
 }
 
+// --- v2 integrity format -------------------------------------------------
+
+Labeling tiny_labeling() {
+  Rng rng(719);
+  const Graph g = erdos_renyi_gnm(40, 100, rng);
+  return thin_fat_encode(g, 5).labeling;
+}
+
+TEST(LabelStoreV2, LegacyV1BlobStillLoads) {
+  const Labeling original = sample_labeling();
+  const auto v1 = LabelStore::serialize_v1(original);
+  const LabelStore store = LabelStore::parse(v1);
+  EXPECT_EQ(store.version(), 1u);
+  ASSERT_EQ(store.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(store.get(i), original[static_cast<Vertex>(i)]) << i;
+  }
+  // v1 carries no per-label sums; spot checks degrade to vacuous truth.
+  EXPECT_TRUE(store.verify_label(0));
+  // check() on a structurally sound v1 blob reports ok.
+  EXPECT_TRUE(LabelStore::check(v1).ok);
+}
+
+TEST(LabelStoreV2, FreshBlobsAreVersion2AndVerify) {
+  const auto blob = LabelStore::serialize(tiny_labeling());
+  const LabelStore store = LabelStore::parse(blob);
+  EXPECT_EQ(store.version(), 2u);
+  const StoreCheckResult r = LabelStore::check(blob);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.version, 2u);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_TRUE(store.verify_label(i)) << i;
+  }
+}
+
+TEST(LabelStoreV2, EverySingleHeaderBitFlipIsRejected) {
+  const auto blob = LabelStore::serialize(tiny_labeling());
+  // Header + checksum block: bytes [0, 40). Any single flipped bit must
+  // be rejected with the failing region named.
+  for (std::size_t bit = 0; bit < 40 * 8; ++bit) {
+    auto bad = blob;
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW(LabelStore::parse(bad), DecodeError) << "bit " << bit;
+    const StoreCheckResult r = LabelStore::check(bad);
+    EXPECT_FALSE(r.ok) << "bit " << bit;
+    EXPECT_FALSE(r.section.empty()) << "bit " << bit;
+  }
+}
+
+TEST(LabelStoreV2, EveryPackedBitsFlipIsRejectedWithSectionAndOffset) {
+  const Labeling tiny = tiny_labeling();
+  const auto blob = LabelStore::serialize(tiny);
+  const std::uint64_t n = tiny.size();
+  const std::size_t offsets_start = 40;
+  const std::size_t labelsums_start =
+      offsets_start + static_cast<std::size_t>((n + 1) * 8);
+  const std::size_t bits_start = labelsums_start + static_cast<std::size_t>(n);
+  ASSERT_LT(bits_start, blob.size());
+  for (std::size_t byte = bits_start; byte < blob.size(); ++byte) {
+    auto bad = blob;
+    bad[byte] ^= 0x10;
+    EXPECT_THROW(LabelStore::parse(bad), CorruptionError) << "byte " << byte;
+    const StoreCheckResult r = LabelStore::check(bad);
+    ASSERT_FALSE(r.ok) << "byte " << byte;
+    EXPECT_EQ(r.section, "bits") << "byte " << byte;
+    EXPECT_EQ(r.byte_offset, bits_start) << "byte " << byte;
+  }
+}
+
+TEST(LabelStoreV2, OffsetAndLabelsumSectionFlipsAreNamed) {
+  const Labeling tiny = tiny_labeling();
+  const auto blob = LabelStore::serialize(tiny);
+  const std::uint64_t n = tiny.size();
+  const std::size_t offsets_start = 40;
+  const std::size_t labelsums_start =
+      offsets_start + static_cast<std::size_t>((n + 1) * 8);
+
+  auto bad_offsets = blob;
+  bad_offsets[offsets_start + 9] ^= 0x40;
+  StoreCheckResult r = LabelStore::check(bad_offsets);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.section, "offsets");
+  EXPECT_EQ(r.byte_offset, offsets_start);
+
+  auto bad_sums = blob;
+  bad_sums[labelsums_start + 3] ^= 0x02;
+  r = LabelStore::check(bad_sums);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.section, "labelsums");
+  EXPECT_EQ(r.byte_offset, labelsums_start);
+}
+
+TEST(LabelStoreV2, LenientParseToleratesBitCorruption) {
+  const Labeling tiny = tiny_labeling();
+  auto blob = LabelStore::serialize(tiny);
+  // Flip one bit deep inside the packed-bits section: strict rejects,
+  // lenient loads (the decode contract makes wrong answers safe).
+  blob[blob.size() - 5] ^= 0x08;
+  EXPECT_THROW(LabelStore::parse(blob, StoreVerify::kStrict),
+               CorruptionError);
+  const LabelStore store = LabelStore::parse(blob, StoreVerify::kLenient);
+  EXPECT_EQ(store.size(), tiny.size());
+  // The per-label spot checksums identify damage even after a lenient
+  // parse: at least one label must fail its sum.
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (!store.verify_label(i)) ++failures;
+  }
+  EXPECT_GE(failures, 1u);
+}
+
+TEST(LabelStoreV2, TruncationAtEverySectionBoundaryRejected) {
+  const Labeling tiny = tiny_labeling();
+  const auto blob = LabelStore::serialize(tiny);
+  const std::uint64_t n = tiny.size();
+  const std::size_t offsets_start = 40;
+  const std::size_t labelsums_start =
+      offsets_start + static_cast<std::size_t>((n + 1) * 8);
+  const std::size_t bits_start = labelsums_start + static_cast<std::size_t>(n);
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{8},
+        std::size_t{16}, std::size_t{24}, std::size_t{28}, std::size_t{32},
+        std::size_t{36}, offsets_start, offsets_start + 1, labelsums_start,
+        bits_start, blob.size() - 1}) {
+    auto bad = blob;
+    bad.resize(cut);
+    EXPECT_THROW(LabelStore::parse(bad, StoreVerify::kStrict), DecodeError)
+        << "cut " << cut;
+    EXPECT_THROW(LabelStore::parse(bad, StoreVerify::kLenient), DecodeError)
+        << "cut " << cut;
+    EXPECT_FALSE(LabelStore::check(bad).ok) << "cut " << cut;
+  }
+}
+
+TEST(LabelStoreV2, HugeDeclaredCountsRejectedWithoutAllocating) {
+  // A corrupt header must never drive an allocation: huge n or total_bits
+  // in an otherwise tiny blob is rejected structurally, in both modes.
+  auto forge = [](std::uint32_t version, std::uint64_t n,
+                  std::uint64_t total_bits) {
+    std::vector<std::uint8_t> blob;
+    auto put32 = [&](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    };
+    auto put64 = [&](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        blob.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    };
+    put32(0x4c474c50u);
+    put32(version);
+    put64(n);
+    if (version == 2) {
+      put64(total_bits);
+      for (int i = 0; i < 4; ++i) put32(0);  // bogus checksums
+    }
+    blob.resize(blob.size() + 64, 0);  // a little body, nowhere near n
+    return blob;
+  };
+  for (const std::uint64_t n :
+       {std::uint64_t{1} << 40, std::uint64_t{1} << 60,
+        std::uint64_t{0xFFFFFFFFFFFFFFFF}}) {
+    EXPECT_THROW(LabelStore::parse(forge(1, n, 0)), DecodeError) << n;
+    EXPECT_THROW(LabelStore::parse(forge(2, n, 0), StoreVerify::kLenient),
+                 DecodeError)
+        << n;
+  }
+  // Huge bit count, small n.
+  EXPECT_THROW(
+      LabelStore::parse(forge(2, 1, std::uint64_t{1} << 62),
+                        StoreVerify::kLenient),
+      DecodeError);
+}
+
 }  // namespace
 }  // namespace plg

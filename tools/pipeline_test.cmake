@@ -28,3 +28,27 @@ execute_process(COMMAND ${PLGTOOL} distance ${G} 0 1 --f 3 --alpha 2.4
 if(rc3 GREATER 1)
   message(FATAL_ERROR "plgtool distance failed: ${rc3}")
 endif()
+
+# Integrity pipeline: a freshly written store verifies clean; a store read
+# through an injected bit flip is reported corrupt with its section named;
+# strict lquery on the corrupt read falls back to re-encoding when the
+# source graph is supplied; lenient mode answers without verification.
+run(${PLGTOOL} verify ${L})
+execute_process(COMMAND ${PLGTOOL} verify ${L} --fault seed=5,flips=1
+                OUTPUT_VARIABLE verify_out RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 1)
+  message(FATAL_ERROR "plgtool verify missed an injected bit flip: ${rc4}")
+endif()
+if(NOT verify_out MATCHES "section:")
+  message(FATAL_ERROR "plgtool verify did not name the failing section")
+endif()
+execute_process(COMMAND ${PLGTOOL} lquery ${L} 0 1 --fault seed=5,flips=1
+                --graph ${G} --cprime fit RESULT_VARIABLE rc5)
+if(rc5 GREATER 1)
+  message(FATAL_ERROR "plgtool lquery graph-fallback failed: ${rc5}")
+endif()
+execute_process(COMMAND ${PLGTOOL} lquery ${L} 0 1 --lenient
+                RESULT_VARIABLE rc6)
+if(rc6 GREATER 1)
+  message(FATAL_ERROR "plgtool lquery --lenient failed: ${rc6}")
+endif()

@@ -15,17 +15,31 @@
 //       Lemma 7 distance labels; prints d(u,v) if <= F, else ">F"
 //   plgtool labels <graph.txt> <out.plgl> [--alpha A] [--cprime C|fit]
 //       encode and persist the label set as a LabelStore blob
-//   plgtool lquery <labels.plgl> <u> <v>
+//   plgtool lquery <labels.plgl> <u> <v> [--strict|--lenient]
+//                  [--graph <graph.txt>]
 //       answer an adjacency query straight from a persisted label store
-//       (no graph, no re-encode — labels only)
+//       (no graph, no re-encode — labels only). --strict (default)
+//       verifies the store's checksums first; --lenient skips them and
+//       accepts possibly-wrong answers. With --graph, a store that fails
+//       verification falls back to re-encoding from the source graph.
+//   plgtool verify <labels.plgl>
+//       integrity-check a persisted label store: section checksums plus a
+//       spot-check of every label. Names the failing section and byte
+//       offset on corruption. Exit 0 = intact, 1 = corrupt.
 //
 // Graph files use the `n m` + edge-per-line text format (src/graph/io.h);
 // a `.bin` suffix selects the binary format.
+//
+// Every command accepts --fault <spec> (see FaultPlan::parse_spec) to
+// inject deterministic faults into the I/O paths — the testing hook for
+// the persistence layer's failure contract.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "plg.h"
 
@@ -46,11 +60,16 @@ using namespace plg;
                "  plgtool distance <graph> <u> <v> --f F [--alpha A]\n"
                "  plgtool labels <graph> <out.plgl> [--alpha A] "
                "[--cprime C|fit]\n"
-               "  plgtool lquery <labels.plgl> <u> <v>\n");
+               "  plgtool lquery <labels.plgl> <u> <v> [--strict|--lenient] "
+               "[--graph <graph>]\n"
+               "  plgtool verify <labels.plgl>\n"
+               "(all commands: [--fault <spec>] injects deterministic I/O "
+               "faults)\n");
   std::exit(2);
 }
 
-/// Minimal flag parser: --key value pairs after the positional args.
+/// Minimal flag parser: --key value pairs (plus a few boolean switches)
+/// after the positional args.
 struct Flags {
   std::optional<double> alpha;
   std::optional<double> avg;
@@ -59,26 +78,43 @@ struct Flags {
   std::optional<std::string> cprime;
   std::optional<std::uint64_t> tau;
   std::optional<std::uint64_t> f;
+  bool strict = true;  // lquery: verify store checksums before answering
+  std::optional<std::string> graph;       // lquery: fallback source graph
+  std::optional<std::string> fault_spec;  // global fault injection
 
   static Flags parse(int argc, char** argv, int first) {
     Flags f;
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       const std::string key = argv[i];
-      const char* value = argv[i + 1];
+      auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for flag: %s\n", key.c_str());
+          usage();
+        }
+        return argv[++i];
+      };
       if (key == "--alpha") {
-        f.alpha = std::strtod(value, nullptr);
+        f.alpha = std::strtod(value(), nullptr);
       } else if (key == "--avg") {
-        f.avg = std::strtod(value, nullptr);
+        f.avg = std::strtod(value(), nullptr);
       } else if (key == "--m") {
-        f.m = std::strtoull(value, nullptr, 10);
+        f.m = std::strtoull(value(), nullptr, 10);
       } else if (key == "--seed") {
-        f.seed = std::strtoull(value, nullptr, 10);
+        f.seed = std::strtoull(value(), nullptr, 10);
       } else if (key == "--cprime") {
-        f.cprime = value;
+        f.cprime = value();
       } else if (key == "--tau") {
-        f.tau = std::strtoull(value, nullptr, 10);
+        f.tau = std::strtoull(value(), nullptr, 10);
       } else if (key == "--f") {
-        f.f = std::strtoull(value, nullptr, 10);
+        f.f = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--strict") {
+        f.strict = true;
+      } else if (key == "--lenient") {
+        f.strict = false;
+      } else if (key == "--graph") {
+        f.graph = value();
+      } else if (key == "--fault") {
+        f.fault_spec = value();
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
         usage();
@@ -250,19 +286,73 @@ int cmd_labels(int argc, char** argv) {
 
 int cmd_lquery(int argc, char** argv) {
   if (argc < 5) usage();
-  const LabelStore store = LabelStore::open_file(argv[2]);
+  const std::string path = argv[2];
   const auto u = std::strtoull(argv[3], nullptr, 10);
   const auto v = std::strtoull(argv[4], nullptr, 10);
-  if (u >= store.size() || v >= store.size()) {
-    std::fprintf(stderr, "label index out of range (store holds %zu)\n",
-                 store.size());
+  const Flags f = Flags::parse(argc, argv, 5);
+
+  std::optional<LabelStore> store;
+  std::optional<Labeling> fallback;
+  try {
+    store = LabelStore::open_file(
+        path, f.strict ? StoreVerify::kStrict : StoreVerify::kLenient);
+  } catch (const DecodeError& e) {
+    if (!f.graph) throw;
+    // Graceful degradation: the store is damaged but the source graph is
+    // available — re-encode and answer from fresh labels.
+    std::fprintf(stderr,
+                 "warning: %s failed verification (%s); re-encoding from "
+                 "%s\n",
+                 path.c_str(), e.what(), f.graph->c_str());
+    const Graph g = load_graph(*f.graph);
+    fallback = encode_with_flags(g, f).labeling;
+  }
+
+  const std::size_t n = store ? store->size() : fallback->size();
+  if (u >= n || v >= n) {
+    std::fprintf(stderr, "label index out of range (store holds %zu)\n", n);
     return 1;
   }
-  const bool adj = thin_fat_adjacent(store.get(u), store.get(v));
-  std::printf("adjacent(%llu, %llu) = %s\n",
+  const bool adj =
+      store ? thin_fat_adjacent(store->get(u), store->get(v))
+            : thin_fat_adjacent((*fallback)[static_cast<Vertex>(u)],
+                                (*fallback)[static_cast<Vertex>(v)]);
+  std::printf("adjacent(%llu, %llu) = %s%s\n",
               static_cast<unsigned long long>(u),
-              static_cast<unsigned long long>(v), adj ? "true" : "false");
+              static_cast<unsigned long long>(v), adj ? "true" : "false",
+              fallback ? "  (re-encoded from source graph)" : "");
   return adj ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string path = argv[2];
+  Flags::parse(argc, argv, 3);  // accepts --fault
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "verify: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> blob(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  fault::on_read_buffer(blob);
+
+  const StoreCheckResult r = LabelStore::check(blob);
+  if (r.ok) {
+    const LabelStore store = LabelStore::parse(blob, StoreVerify::kLenient);
+    std::printf("%s: OK (format v%u, %zu labels, %zu bytes, all section "
+                "checksums and %zu per-label spot checks pass)\n",
+                path.c_str(), r.version, store.size(), blob.size(),
+                store.size());
+    return 0;
+  }
+  std::printf("%s: CORRUPT (format v%u)\n", path.c_str(), r.version);
+  std::printf("  section:     %s\n", r.section.c_str());
+  std::printf("  byte offset: %llu\n",
+              static_cast<unsigned long long>(r.byte_offset));
+  std::printf("  detail:      %s\n", r.message.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -271,6 +361,13 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
+    // --fault is global: enable the plan before the command touches I/O.
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--fault") == 0) {
+        plg::fault::enable(plg::fault::FaultPlan::parse_spec(argv[i + 1]));
+        break;
+      }
+    }
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "fit") return cmd_fit(argc, argv);
     if (cmd == "check") return cmd_check(argc, argv);
@@ -279,9 +376,11 @@ int main(int argc, char** argv) {
     if (cmd == "distance") return cmd_distance(argc, argv);
     if (cmd == "labels") return cmd_labels(argc, argv);
     if (cmd == "lquery") return cmd_lquery(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
   } catch (const std::exception& e) {
+    // Exit 2 keeps errors distinct from query/lquery/verify's "no" (exit 1).
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 2;
   }
   usage();
 }
