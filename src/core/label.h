@@ -3,6 +3,9 @@
 // This is the paper's L(v) in {0,1}^* — decoders receive two Labels and
 // nothing else (Section 2). Size is tracked at bit granularity so that
 // measured label sizes can be compared against the paper's bounds exactly.
+//
+// Thread-safety: immutable after construction; reader() hands out a
+// by-value cursor, so concurrent reads of one shared Label never race.
 #pragma once
 
 #include <cstdint>

@@ -32,6 +32,16 @@
 // and will happily return a store whose bits are corrupt — callers opting
 // into kLenient accept possibly-wrong answers in exchange for
 // availability (the documented decode contract makes that safe).
+//
+// Thread-safety contract (the query service serves shared snapshots from
+// this class): a LabelStore is deeply immutable after parse() returns.
+// Every const member — get(), size(), size_bits(), verify_label(),
+// load_all(), version() — reads only the three private vectors, which are
+// never written again; there are no mutable members, no lazy caches, and
+// no global state on the read path. Any number of threads may therefore
+// call const members on one shared instance concurrently without
+// synchronization. (Audited + enforced by the ConstReadPath tests in
+// tests/test_service.cpp, which hammer a shared store under TSan.)
 #pragma once
 
 #include <cstdint>

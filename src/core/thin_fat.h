@@ -16,6 +16,13 @@
 // neighbor list for the other identifier; if both are fat, test one bit of
 // either row. The gamma-coded width header makes labels self-delimiting,
 // costing O(log log n) extra bits — inside the theorems' "+ 2 log n + 1".
+//
+// Thread-safety: thin_fat_adjacent and thin_fat_parse_header are pure
+// functions of their Label arguments — they allocate nothing, cache
+// nothing, and touch no global or static state; BitReaders are by-value
+// cursors over the labels' immutable words. Concurrent decodes over
+// shared Labels are data-race free, which is what lets the query service
+// fan queries across a thread pool with zero locking on the hot path.
 #pragma once
 
 #include <cstdint>

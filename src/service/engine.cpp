@@ -1,0 +1,192 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <latch>
+#include <stdexcept>
+
+#include "core/distance_scheme.h"
+#include "core/thin_fat.h"
+#include "util/errors.h"
+
+namespace plg::service {
+
+namespace {
+
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+}  // namespace
+
+/// Worker-owned mutable state. Only worker w's thread ever touches
+/// states_[w] (jobs for w run exclusively on that thread), so none of
+/// this needs synchronization — the pool's per-worker queues are the
+/// isolation mechanism.
+struct QueryService::WorkerState {
+  struct Slot {
+    std::uint64_t key = kNoKey;  ///< vertex id, kNoKey when empty
+    std::uint64_t snap_id = 0;   ///< identity of the owning snapshot
+    Label label;
+  };
+  std::vector<Slot> cache;  ///< direct-mapped; empty = caching disabled
+  Label scratch_a;          ///< uncached decode target for endpoint u
+  Label scratch_b;          ///< uncached decode target for endpoint v
+
+  /// Materializes label v through the direct-mapped cache. Entries are
+  /// tagged with the snapshot's process-unique id, so a hot swap
+  /// invalidates lazily (stale tags simply miss) with no cross-thread
+  /// bookkeeping. Fat-vertex labels dominate decode cost (their k-bit
+  /// rows are the largest labels in the store) and repeat across
+  /// queries, which is what makes this cache pay for itself.
+  const Label& fetch_label(const Snapshot& snap, std::uint64_t v,
+                           bool spot_check, WorkerMetrics& m,
+                           Label& scratch) {
+    if (!cache.empty()) {
+      Slot& slot = cache[v % cache.size()];
+      if (slot.key == v && slot.snap_id == snap.id()) {
+        m.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return slot.label;
+      }
+      m.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      if (spot_check && !snap.verify_label(v)) {
+        throw DecodeError("service: label fails spot checksum");
+      }
+      slot.label = snap.get(v);
+      slot.key = v;
+      slot.snap_id = snap.id();
+      return slot.label;
+    }
+    m.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    if (spot_check && !snap.verify_label(v)) {
+      throw DecodeError("service: label fails spot checksum");
+    }
+    scratch = snap.get(v);
+    return scratch;
+  }
+};
+
+QueryService::QueryService(std::shared_ptr<const Snapshot> snapshot,
+                           ServiceOptions opt)
+    : opt_(opt),
+      store_((snapshot ? std::move(snapshot)
+                       : throw std::invalid_argument(
+                             "QueryService: null snapshot"))),
+      pool_(opt.threads),
+      metrics_(pool_.size()) {
+  if (opt_.chunk == 0) opt_.chunk = 1;
+  states_.reserve(pool_.size());
+  for (unsigned i = 0; i < pool_.size(); ++i) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->cache.resize(opt_.cache_entries);
+    states_.push_back(std::move(ws));
+  }
+}
+
+QueryService::~QueryService() = default;
+
+void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
+                             const QueryRequest* reqs, QueryResult* results,
+                             std::size_t count) {
+  WorkerState& ws = *states_[worker];
+  WorkerMetrics& m = metrics_.slot(worker);
+  m.batches.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n = snap.size();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const QueryRequest& q = reqs[i];
+    QueryResult r;
+    if (q.u >= n || q.v >= n) {
+      r.status = QueryStatus::kOutOfRange;
+      m.range_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        const Label* la =
+            &ws.fetch_label(snap, q.u, opt_.spot_check, m, ws.scratch_a);
+        if (!ws.cache.empty() && q.u != q.v &&
+            q.u % ws.cache.size() == q.v % ws.cache.size()) {
+          // Both endpoints map to one cache slot: fetching v would
+          // overwrite the storage la refers to. Detach u's label first.
+          ws.scratch_a = *la;
+          la = &ws.scratch_a;
+        }
+        const Label& lb =
+            ws.fetch_label(snap, q.v, opt_.spot_check, m, ws.scratch_b);
+        if (opt_.kind == QueryKind::kAdjacency) {
+          r.adjacent = thin_fat_adjacent(*la, lb);
+          if (r.adjacent) m.positive.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const auto d = DistanceScheme::distance(*la, lb);
+          r.distance = d ? static_cast<std::int64_t>(*d) : -1;
+          if (d) m.positive.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const DecodeError&) {
+        // Corruption fallback: the query reports kCorrupt instead of the
+        // exception escaping onto the worker thread. Serving continues.
+        r.status = QueryStatus::kCorrupt;
+        m.corruptions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    results[i] = r;
+    m.queries.fetch_add(1, std::memory_order_relaxed);
+    m.latency.record(elapsed_ns(t0, std::chrono::steady_clock::now()));
+  }
+}
+
+std::vector<QueryResult> QueryService::query_batch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<QueryResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  // One snapshot for the whole batch: acquired before the first chunk is
+  // queued, released (possibly freeing a swapped-out snapshot) after the
+  // latch confirms every chunk is done.
+  const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  const std::size_t chunk = opt_.chunk;
+  const std::size_t nchunks = (batch.size() + chunk - 1) / chunk;
+  std::latch done(static_cast<std::ptrdiff_t>(nchunks));
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t count = std::min(chunk, batch.size() - begin);
+    const unsigned worker = static_cast<unsigned>(c % pool_.size());
+    // The frame outlives every chunk (done.wait below), so jobs may
+    // capture the batch/result spans and the snapshot by reference.
+    pool_.submit(worker, [this, worker, &snap, &done,
+                          reqs = batch.data() + begin,
+                          res = results.data() + begin, count] {
+      run_chunk(worker, *snap, reqs, res, count);
+      done.count_down();
+    });
+  }
+  done.wait();
+  return results;
+}
+
+QueryResult QueryService::query(const QueryRequest& req) {
+  // Routed through the pool as a batch of one: worker state must only
+  // ever be touched from its worker's thread.
+  return query_batch({req}).front();
+}
+
+void QueryService::reload(std::shared_ptr<const Snapshot> next) {
+  if (!next) throw std::invalid_argument("QueryService::reload: null snapshot");
+  store_.swap(std::move(next));
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s = metrics_.aggregate();
+  const auto snap = store_.acquire();
+  s.snapshot_generation = store_.generation();
+  s.snapshot_labels = snap->size();
+  s.snapshot_bytes = snap->total_bytes();
+  s.snapshot_shards = snap->num_shards();
+  return s;
+}
+
+}  // namespace plg::service

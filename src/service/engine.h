@@ -1,0 +1,109 @@
+// QueryService: the concurrent batch engine tying together the sharded
+// snapshot store, the per-worker thread pool, and the metrics registry.
+//
+// The paper's schemes make adjacency decidable from two labels with no
+// shared graph state — an embarrassingly parallel query workload. The
+// engine exploits exactly that: a batch is split into fixed-size chunks,
+// chunks are dealt round-robin onto per-worker queues, and each worker
+// answers its chunk against an immutable Snapshot with zero cross-worker
+// communication. The only synchronization in a batch is one atomic
+// shared_ptr acquire at the start and one latch at the end.
+//
+// Consistency model: query_batch() acquires the current snapshot once and
+// answers the whole batch from it. A reload() mid-batch affects only
+// subsequent batches — callers never observe a half-swapped view.
+//
+// Failure model: queries never throw. An out-of-range id yields
+// kOutOfRange; a label that fails its spot checksum or whose decode
+// throws DecodeError yields kCorrupt and bumps the corruption-fallback
+// counter. The service keeps serving.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/label.h"
+#include "service/metrics.h"
+#include "service/snapshot.h"
+#include "service/thread_pool.h"
+
+namespace plg::service {
+
+/// Which decoder the snapshot's labels were built for.
+enum class QueryKind : std::uint8_t {
+  kAdjacency,  ///< thin/fat labels; answer via thin_fat_adjacent
+  kDistance,   ///< Lemma 7 labels; answer via DistanceScheme::distance
+};
+
+struct QueryRequest {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kOutOfRange,  ///< an endpoint id is outside the snapshot
+  kCorrupt,     ///< spot checksum failed or the label failed to decode
+};
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kOk;
+  bool adjacent = false;     ///< kAdjacency: the answer
+  std::int64_t distance = -1;  ///< kDistance: d(u,v) if <= f, else -1
+};
+
+struct ServiceOptions {
+  unsigned threads = 0;          ///< worker count; 0 = hardware concurrency
+  std::size_t chunk = 256;       ///< queries per dispatched task
+  std::size_t cache_entries = 1024;  ///< per-worker decoded-label cache; 0 off
+  bool spot_check = false;       ///< verify per-label checksum before decode
+  QueryKind kind = QueryKind::kAdjacency;
+};
+
+class QueryService {
+ public:
+  QueryService(std::shared_ptr<const Snapshot> snapshot, ServiceOptions opt);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Answers every request against one consistent snapshot. Blocks the
+  /// calling thread until the whole batch is done; safe to call from
+  /// multiple threads concurrently (batches interleave at chunk level).
+  std::vector<QueryResult> query_batch(
+      const std::vector<QueryRequest>& batch);
+
+  /// Single-query convenience (a batch of one, bypassing the pool).
+  QueryResult query(const QueryRequest& req);
+
+  /// Atomically installs a new snapshot; in-flight batches finish on the
+  /// old one. Worker caches self-invalidate via snapshot identity tags.
+  void reload(std::shared_ptr<const Snapshot> next);
+
+  /// The snapshot new batches would use right now.
+  std::shared_ptr<const Snapshot> snapshot() const { return store_.acquire(); }
+
+  std::uint64_t generation() const noexcept { return store_.generation(); }
+  unsigned threads() const noexcept { return pool_.size(); }
+  const ServiceOptions& options() const noexcept { return opt_; }
+
+  /// Aggregated counters + latency histogram + snapshot info.
+  ServiceStats stats() const;
+
+ private:
+  struct WorkerState;
+
+  void run_chunk(unsigned worker, const Snapshot& snap,
+                 const QueryRequest* reqs, QueryResult* results,
+                 std::size_t count);
+
+  ServiceOptions opt_;
+  SnapshotStore store_;
+  ThreadPool pool_;
+  MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+};
+
+}  // namespace plg::service

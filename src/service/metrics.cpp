@@ -1,0 +1,74 @@
+#include "service/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace plg::service {
+
+ServiceStats MetricsRegistry::aggregate() const {
+  ServiceStats out;
+  out.workers = slots_.size();
+  for (const WorkerMetrics& w : slots_) {
+    out.queries += w.queries.load(std::memory_order_relaxed);
+    out.batches += w.batches.load(std::memory_order_relaxed);
+    out.positive += w.positive.load(std::memory_order_relaxed);
+    out.cache_hits += w.cache_hits.load(std::memory_order_relaxed);
+    out.cache_misses += w.cache_misses.load(std::memory_order_relaxed);
+    out.corruptions += w.corruptions.load(std::memory_order_relaxed);
+    out.range_errors += w.range_errors.load(std::memory_order_relaxed);
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      out.latency_buckets[b] += w.latency.bucket(b);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ServiceStats::latency_quantile_ns(double q) const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : latency_buckets) total += c;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based; walk buckets until covered.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    seen += latency_buckets[b];
+    if (seen >= rank) return latency_bucket_floor(b);
+  }
+  return latency_bucket_floor(kLatencyBuckets - 1);
+}
+
+std::string ServiceStats::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"workers\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
+      ",\"positive\":%" PRIu64 ",\"cache_hits\":%" PRIu64
+      ",\"cache_misses\":%" PRIu64 ",\"corruptions\":%" PRIu64
+      ",\"range_errors\":%" PRIu64 ",\"snapshot\":{\"generation\":%" PRIu64
+      ",\"labels\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"shards\":%" PRIu64
+      "},\"latency_ns\":{\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+      ",\"p99\":%" PRIu64 "},\"latency_hist\":[",
+      workers, queries, batches, positive, cache_hits, cache_misses,
+      corruptions, range_errors, snapshot_generation, snapshot_labels,
+      snapshot_bytes, snapshot_shards, latency_quantile_ns(0.50),
+      latency_quantile_ns(0.90), latency_quantile_ns(0.99));
+  std::string json(buf);
+  // Emit the histogram sparsely as [bucket_floor_ns, count] pairs; most of
+  // the 64 buckets are empty and a dense dump would bury the signal.
+  bool first = true;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    if (latency_buckets[b] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ",%" PRIu64 "]",
+                  first ? "" : ",", latency_bucket_floor(b),
+                  latency_buckets[b]);
+    json += buf;
+    first = false;
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace plg::service

@@ -1,0 +1,111 @@
+// Lock-free service observability: per-worker counters and latency
+// histograms, aggregated on demand into a JSON stats report.
+//
+// Design rule: the hot path never takes a lock and never writes a cache
+// line another worker writes. Each worker owns one cache-line-aligned
+// WorkerMetrics slot; counters are std::atomic<u64> incremented with
+// relaxed ordering (they are statistics, not synchronization — the only
+// requirement is no torn reads, which atomics give for free). Aggregation
+// (stats(), the cold path) reads every slot with relaxed loads; totals are
+// eventually consistent with in-flight increments, which is exactly the
+// precision a stats endpoint needs.
+//
+// Latency histogram: 64 power-of-two buckets of nanoseconds — bucket b
+// counts samples with floor(log2(ns)) == b (bucket 0 also takes 0 ns).
+// Log-scale buckets keep record() to a clz + one relaxed fetch_add and
+// bound quantile error to 2x, plenty for p50/p99 trend lines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plg::service {
+
+inline constexpr int kLatencyBuckets = 64;
+
+/// Index of the histogram bucket for a sample of `ns` nanoseconds.
+constexpr int latency_bucket(std::uint64_t ns) noexcept {
+  return ns == 0 ? 0 : 63 - __builtin_clzll(ns);
+}
+
+/// Lower bound (ns) of bucket b — for rendering.
+constexpr std::uint64_t latency_bucket_floor(int b) noexcept {
+  return b == 0 ? 0 : (std::uint64_t{1} << b);
+}
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t ns) noexcept {
+    buckets_[latency_bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bucket(int b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kLatencyBuckets] = {};
+};
+
+/// One worker's slot. alignas(64) prevents false sharing between
+/// neighboring workers' counters (the histogram is already line-sized).
+struct alignas(64) WorkerMetrics {
+  std::atomic<std::uint64_t> queries{0};        ///< requests answered
+  std::atomic<std::uint64_t> batches{0};        ///< chunks executed
+  std::atomic<std::uint64_t> positive{0};       ///< adjacent / within-f
+  std::atomic<std::uint64_t> cache_hits{0};     ///< decoded-label cache
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> corruptions{0};    ///< spot-check failures
+  std::atomic<std::uint64_t> range_errors{0};   ///< id out of snapshot
+  LatencyHistogram latency;                     ///< per-query latency (ns)
+};
+
+/// Plain-value aggregate of every worker slot at one instant.
+struct ServiceStats {
+  std::uint64_t workers = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t positive = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t range_errors = 0;
+  std::uint64_t snapshot_generation = 0;
+  std::uint64_t snapshot_labels = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_shards = 0;
+  std::uint64_t latency_buckets[kLatencyBuckets] = {};
+
+  /// Bucket-resolution quantile: lower bound (ns) of the bucket holding
+  /// the q-quantile sample (q in [0,1]). 0 when no samples recorded.
+  std::uint64_t latency_quantile_ns(double q) const noexcept;
+
+  /// Serializes the whole report as a single-line JSON object (the
+  /// `plgtool serve` STATS reply and the bench artifact schema).
+  std::string to_json() const;
+};
+
+/// The registry: fixed worker count, slots allocated once, no resizing —
+/// pointers into it stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(unsigned workers) : slots_(workers) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  WorkerMetrics& slot(unsigned worker) noexcept { return slots_[worker]; }
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+  /// Cold-path aggregation across all worker slots.
+  ServiceStats aggregate() const;
+
+ private:
+  std::vector<WorkerMetrics> slots_;
+};
+
+}  // namespace plg::service

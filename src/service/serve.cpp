@@ -1,0 +1,162 @@
+#include "service/serve.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace plg::service {
+
+namespace {
+
+/// Parses "<u> <v>" or "<verb> <u> <v>"; verb defaults to the service
+/// mode. Returns false (with a reason) on malformed input.
+bool parse_query(const std::string& line, QueryKind mode, QueryRequest& req,
+                 QueryKind& kind, std::string& reason) {
+  std::istringstream ss(line);
+  std::string first;
+  if (!(ss >> first)) {
+    reason = "empty query";
+    return false;
+  }
+  kind = mode;
+  std::istringstream bare;
+  std::istringstream* src = &ss;
+  if (first == "A" || first == "a") {
+    kind = QueryKind::kAdjacency;
+  } else if (first == "D" || first == "d") {
+    kind = QueryKind::kDistance;
+  } else {
+    bare.str(line);  // no verb: re-read the whole line as "<u> <v>"
+    src = &bare;
+  }
+  if (!(*src >> req.u >> req.v)) {
+    reason = "expected: [A|D] <u> <v>";
+    return false;
+  }
+  std::string extra;
+  if (*src >> extra) {
+    reason = "trailing tokens after query";
+    return false;
+  }
+  return true;
+}
+
+void write_result(std::ostream& out, QueryKind kind, const QueryResult& r) {
+  switch (r.status) {
+    case QueryStatus::kOutOfRange:
+      out << "range\n";
+      return;
+    case QueryStatus::kCorrupt:
+      out << "corrupt\n";
+      return;
+    case QueryStatus::kOk:
+      break;
+  }
+  if (kind == QueryKind::kAdjacency) {
+    out << (r.adjacent ? "1" : "0") << "\n";
+  } else if (r.distance >= 0) {
+    out << r.distance << "\n";
+  } else {
+    out << "inf\n";
+  }
+}
+
+}  // namespace
+
+std::uint64_t serve_loop(QueryService& svc, std::istream& in,
+                         std::ostream& out, const ServeOptions& opt) {
+  const QueryKind mode = svc.options().kind;
+  std::uint64_t answered = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+
+    if (cmd == "QUIT" || cmd == "quit") break;
+
+    if (cmd == "PING" || cmd == "ping") {
+      out << "pong\n";
+    } else if (cmd == "STATS" || cmd == "stats") {
+      out << svc.stats().to_json() << "\n";
+    } else if (cmd == "RELOAD" || cmd == "reload") {
+      std::string path;
+      if (!(ss >> path)) {
+        out << "err expected: RELOAD <path>\n";
+        continue;
+      }
+      try {
+        auto next = Snapshot::from_file(path, opt.num_shards, opt.verify);
+        svc.reload(std::move(next));
+        out << "reloaded " << path << " labels=" << svc.snapshot()->size()
+            << " generation=" << svc.generation() << "\n";
+      } catch (const std::exception& e) {
+        // The old snapshot keeps serving — a failed reload is an error
+        // reply, not an outage.
+        out << "err reload failed: " << e.what() << "\n";
+      }
+    } else if (cmd == "BATCH" || cmd == "batch") {
+      std::size_t n = 0;
+      if (!(ss >> n)) {
+        out << "err expected: BATCH <n>\n";
+        continue;
+      }
+      std::vector<QueryRequest> reqs;
+      std::vector<QueryKind> kinds;
+      reqs.reserve(n);
+      kinds.reserve(n);
+      bool bad = false;
+      for (std::size_t i = 0; i < n && !bad; ++i) {
+        if (!std::getline(in, line)) {
+          out << "err batch truncated at line " << i << "\n";
+          bad = true;
+          break;
+        }
+        QueryRequest req;
+        QueryKind kind;
+        std::string reason;
+        if (!parse_query(line, mode, req, kind, reason)) {
+          out << "err batch line " << i << ": " << reason << "\n";
+          bad = true;
+          break;
+        }
+        if (kind != mode) {
+          out << "err batch line " << i
+              << ": mixed query kinds in one batch\n";
+          bad = true;
+          break;
+        }
+        reqs.push_back(req);
+        kinds.push_back(kind);
+      }
+      if (bad) continue;
+      const auto results = svc.query_batch(reqs);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        write_result(out, kinds[i], results[i]);
+      }
+      answered += results.size();
+    } else {
+      QueryRequest req;
+      QueryKind kind;
+      std::string reason;
+      if (!parse_query(line, mode, req, kind, reason)) {
+        out << "err " << reason << "\n";
+        continue;
+      }
+      if (kind != mode) {
+        out << "err query kind does not match the served labels ("
+            << (mode == QueryKind::kAdjacency ? "adjacency" : "distance")
+            << " store)\n";
+        continue;
+      }
+      write_result(out, kind, svc.query(req));
+      ++answered;
+    }
+    out.flush();
+  }
+  return answered;
+}
+
+}  // namespace plg::service

@@ -1,0 +1,43 @@
+// Streaming request/response loop for `plgtool serve`.
+//
+// A deliberately tiny line protocol over any istream/ostream pair, so the
+// service is scriptable from a shell pipe today and trivially portable to
+// a socket tomorrow (the loop never touches stdin/stdout directly):
+//
+//   A <u> <v>       adjacency query        -> "1" | "0"
+//   D <u> <v>       distance query         -> "<d>" | "inf"
+//   <u> <v>         query in the service's configured mode
+//   BATCH <n>       the next n lines are queries, answered in order
+//                   through one query_batch() call (the fast path)
+//   STATS           -> one-line JSON stats report
+//   RELOAD <path>   hot-swap the snapshot from a .plgl file
+//   PING            -> "pong" (liveness probe)
+//   QUIT            end the loop
+//
+// Degraded answers stay in-band: "range" for an id outside the snapshot,
+// "corrupt" for a label that failed its checksum or decode. Protocol
+// errors reply "err <reason>" and the loop continues — a malformed line
+// must never take the service down. Blank lines and '#' comments are
+// ignored (so saved query scripts can be annotated).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/label_store.h"
+#include "service/engine.h"
+
+namespace plg::service {
+
+struct ServeOptions {
+  std::size_t num_shards = 16;               ///< shard count for RELOAD
+  StoreVerify verify = StoreVerify::kStrict;  ///< RELOAD parse mode
+};
+
+/// Runs the protocol until QUIT or EOF. Returns the number of queries
+/// answered (for tests and the session summary `plgtool serve` prints).
+std::uint64_t serve_loop(QueryService& svc, std::istream& in,
+                         std::ostream& out, const ServeOptions& opt = {});
+
+}  // namespace plg::service

@@ -1,0 +1,66 @@
+// ShardMap: the pure routing function of the query service.
+//
+// Labels are partitioned across a fixed number of shards by vertex id so
+// that (a) snapshot construction and verification parallelize per shard,
+// and (b) a future multi-process deployment can place shards on different
+// machines without re-encoding anything. Contiguous block partitioning
+// (shard i holds ids [i*per, (i+1)*per)) is chosen over hashing because
+// label ids arrive from callers that often scan ranges, and block layout
+// keeps those scans within one shard's cache-resident offset table.
+//
+// The map is a value type with no state beyond (n, shards); routing is
+// branch-free arithmetic and safe to call concurrently from any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace plg::service {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Partition `n` vertex ids into at most `shards` contiguous blocks.
+  /// The actual shard count never exceeds n (no empty trailing shards
+  /// except when n == 0, which yields a single empty shard).
+  ShardMap(std::uint64_t n, std::size_t shards) : n_(n) {
+    if (shards == 0) shards = 1;
+    if (n > 0 && shards > n) shards = static_cast<std::size_t>(n);
+    shards_ = shards;
+    per_ = (n + shards - 1) / shards;  // ceil; 0 only when n == 0
+    if (per_ == 0) per_ = 1;
+  }
+
+  std::uint64_t num_vertices() const noexcept { return n_; }
+  std::size_t num_shards() const noexcept { return shards_; }
+
+  /// Which shard holds vertex id v. Precondition: v < num_vertices().
+  std::size_t shard_of(std::uint64_t v) const noexcept {
+    return static_cast<std::size_t>(v / per_);
+  }
+
+  /// Index of v inside its shard.
+  std::uint64_t index_in_shard(std::uint64_t v) const noexcept {
+    return v % per_;
+  }
+
+  /// First vertex id of shard s.
+  std::uint64_t shard_begin(std::size_t s) const noexcept {
+    const std::uint64_t b = static_cast<std::uint64_t>(s) * per_;
+    return b < n_ ? b : n_;
+  }
+
+  /// One past the last vertex id of shard s.
+  std::uint64_t shard_end(std::size_t s) const noexcept {
+    const std::uint64_t e = (static_cast<std::uint64_t>(s) + 1) * per_;
+    return e < n_ ? e : n_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::size_t shards_ = 1;
+  std::uint64_t per_ = 1;
+};
+
+}  // namespace plg::service

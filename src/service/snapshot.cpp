@@ -1,0 +1,63 @@
+#include "service/snapshot.h"
+
+#include <utility>
+
+namespace plg::service {
+
+namespace {
+
+/// Round-trips one shard's labels through the checksummed v2 codec. The
+/// strict re-parse is the admission check: a snapshot shard is either
+/// CRC-clean or construction throws CorruptionError.
+LabelStore make_shard(std::vector<Label> labels, std::uint64_t& bytes) {
+  auto blob = LabelStore::serialize(Labeling(std::move(labels)));
+  bytes += blob.size();
+  return LabelStore::parse(std::move(blob), StoreVerify::kStrict);
+}
+
+std::atomic<std::uint64_t> next_snapshot_id{1};
+
+}  // namespace
+
+Snapshot::Snapshot()
+    : id_(next_snapshot_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+std::shared_ptr<const Snapshot> Snapshot::build(const Labeling& labeling,
+                                                std::size_t num_shards) {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->map_ = ShardMap(labeling.size(), num_shards);
+  snap->shards_.reserve(snap->map_.num_shards());
+  for (std::size_t s = 0; s < snap->map_.num_shards(); ++s) {
+    std::vector<Label> part;
+    const std::uint64_t begin = snap->map_.shard_begin(s);
+    const std::uint64_t end = snap->map_.shard_end(s);
+    part.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t v = begin; v < end; ++v) {
+      part.push_back(labeling[static_cast<Vertex>(v)]);
+    }
+    snap->shards_.push_back(make_shard(std::move(part), snap->total_bytes_));
+  }
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::from_file(const std::string& path,
+                                                    std::size_t num_shards,
+                                                    StoreVerify verify) {
+  const LabelStore whole = LabelStore::open_file(path, verify);
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->map_ = ShardMap(whole.size(), num_shards);
+  snap->shards_.reserve(snap->map_.num_shards());
+  for (std::size_t s = 0; s < snap->map_.num_shards(); ++s) {
+    std::vector<Label> part;
+    const std::uint64_t begin = snap->map_.shard_begin(s);
+    const std::uint64_t end = snap->map_.shard_end(s);
+    part.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t v = begin; v < end; ++v) {
+      part.push_back(whole.get(static_cast<std::size_t>(v)));
+    }
+    snap->shards_.push_back(make_shard(std::move(part), snap->total_bytes_));
+  }
+  return snap;
+}
+
+}  // namespace plg::service

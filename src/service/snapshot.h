@@ -1,0 +1,152 @@
+// Snapshot: an immutable, sharded, integrity-verified label set, plus the
+// holder that lets the service hot-swap it under live traffic.
+//
+// Lifecycle protocol (the heart of non-blocking serving):
+//
+//   1. A Snapshot is built OFF the serving path — from a Labeling or a
+//      .plgl file — sharded by vertex id via ShardMap. Every shard is a
+//      LabelStore that has passed a full strict (CRC) parse, so admission
+//      to serving memory implies integrity.
+//   2. Once constructed a Snapshot is never mutated. All accessors are
+//      const and touch only immutable state; any number of threads may
+//      read one concurrently without synchronization.
+//   3. SnapshotStore holds the current snapshot in a shared_ptr guarded
+//      by a std::shared_mutex. Readers acquire() a shared_ptr copy (a
+//      shared lock held for two pointer copies) and keep using *their*
+//      snapshot for the whole batch even if a swap happens mid-batch.
+//      Writers build the replacement entirely outside the lock and
+//      install it with swap() (exclusive lock held for one pointer
+//      swap); the old snapshot dies when its last in-flight reader
+//      drops the reference.
+//
+// Consequently a reload (e.g. `plgtool verify` fallback re-encode) never
+// blocks queries for more than a pointer swap and never invalidates
+// answers mid-flight: a batch is answered entirely from the snapshot it
+// started on.
+//
+// Why a shared_mutex and not std::atomic<std::shared_ptr>? libstdc++'s
+// _Sp_atomic (GCC 12) releases its internal spinlock in load() with a
+// *relaxed* RMW, so a reader's critical section does not synchronize-with
+// the next writer's lock acquisition — formally a data race on the stored
+// pointer (the compiler may sink the pointer read past the relaxed
+// unlock, pairing a new pointer with an old control block). TSan flags it
+// on the hot-swap storm test. The shared_mutex fast path is one atomic
+// RMW per acquire, readers never exclude each other, and the protocol is
+// explicit, portable, and provably race-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/label_store.h"
+#include "core/labeling.h"
+#include "service/shard_map.h"
+
+namespace plg::service {
+
+class Snapshot {
+ public:
+  /// Builds a snapshot from an in-memory labeling. Each shard is
+  /// serialized to the checksummed v2 format and re-parsed strictly, so
+  /// the snapshot's bits carry CRC protection end to end.
+  static std::shared_ptr<const Snapshot> build(const Labeling& labeling,
+                                               std::size_t num_shards);
+
+  /// Loads a .plgl file and shards it. `verify` is forwarded to the file
+  /// parse; shard re-encode is always strict (a lenient *file* load can
+  /// still surface corruption later via per-label spot checks).
+  static std::shared_ptr<const Snapshot> from_file(
+      const std::string& path, std::size_t num_shards,
+      StoreVerify verify = StoreVerify::kStrict);
+
+  const ShardMap& shard_map() const noexcept { return map_; }
+  std::uint64_t size() const noexcept { return map_.num_vertices(); }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Materializes the label of vertex v. Thread-safe: LabelStore::get is
+  /// const and reads only immutable words. Precondition: v < size().
+  Label get(std::uint64_t v) const {
+    const std::size_t s = map_.shard_of(v);
+    return shards_[s].get(static_cast<std::size_t>(map_.index_in_shard(v)));
+  }
+
+  /// Size in bits of label v without materializing it.
+  std::size_t label_bits(std::uint64_t v) const {
+    const std::size_t s = map_.shard_of(v);
+    return shards_[s].size_bits(
+        static_cast<std::size_t>(map_.index_in_shard(v)));
+  }
+
+  /// Re-derives v's stored spot checksum. False means the shard's bits
+  /// rotted *after* admission (or the encoder lied); the engine counts
+  /// these as corruption fallbacks.
+  bool verify_label(std::uint64_t v) const {
+    const std::size_t s = map_.shard_of(v);
+    return shards_[s].verify_label(
+        static_cast<std::size_t>(map_.index_in_shard(v)));
+  }
+
+  /// Total serialized bytes across shards (observability).
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Process-unique identity, assigned at construction from a monotonic
+  /// counter. Worker caches tag entries with this id, so a snapshot
+  /// allocated at a freed predecessor's address can never satisfy a
+  /// stale cache hit (no pointer ABA).
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  Snapshot();
+  ShardMap map_;
+  std::vector<LabelStore> shards_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+/// The hot-swappable holder. One per service; readers never block.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::shared_ptr<const Snapshot> initial)
+      : current_(std::move(initial)) {}
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Read-side acquire: a shared lock held for one ref-count bump and
+  /// two pointer copies. Readers never exclude each other, and a writer
+  /// only excludes them for the duration of a pointer swap. The returned
+  /// pointer is never null.
+  std::shared_ptr<const Snapshot> acquire() const {
+    std::shared_lock lk(mu_);
+    return current_;
+  }
+
+  /// Installs a replacement snapshot and bumps the generation counter.
+  /// In-flight batches keep serving from the snapshot they acquired; the
+  /// replaced snapshot is released *outside* the lock so its destructor
+  /// (potentially megabytes of shard frees) never stalls readers.
+  void swap(std::shared_ptr<const Snapshot> next) {
+    {
+      std::unique_lock lk(mu_);
+      current_.swap(next);
+    }
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Number of swaps performed (generation 0 = the initial snapshot).
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace plg::service

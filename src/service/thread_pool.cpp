@@ -1,0 +1,64 @@
+#include "service/thread_pool.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace plg::service {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after the vector is fully built: run() never touches
+  // workers_, but the destructor relies on every element existing.
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { run(*raw); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadPool::submit(unsigned worker, std::function<void()> job) {
+  Worker& w = *workers_[worker % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.stop) {
+      throw std::logic_error("ThreadPool::submit after shutdown");
+    }
+    w.queue.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+}
+
+void ThreadPool::run(Worker& w) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop requested and queue drained
+      job = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace plg::service

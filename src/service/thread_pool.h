@@ -1,0 +1,61 @@
+// Fixed thread pool with one FIFO queue per worker.
+//
+// The batch engine shards work across workers explicitly (chunk i goes to
+// worker i mod W), so a single shared queue would only add contention:
+// per-worker queues give each worker an exclusive mutex + condvar and make
+// worker-owned state (decoded-label caches, metrics slots, RNG streams)
+// trivially data-race free — worker w's jobs all run on thread w, in
+// submission order. There is deliberately no work stealing: the engine's
+// chunks are uniform, and stealing would let a job touch another worker's
+// cache, reintroducing the sharing this design removes.
+//
+// Shutdown: the destructor drains every queue (pending jobs run), then
+// joins. submit() after shutdown begins is a programming error and throws.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plg::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 = std::thread::hardware_concurrency,
+  /// itself clamped to at least 1).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a job on worker `worker % size()`. Jobs on one worker run
+  /// sequentially in submission order; jobs on different workers run
+  /// concurrently. The job runs on the worker's thread, so anything it
+  /// captures that is owned by that worker needs no synchronization.
+  void submit(unsigned worker, std::function<void()> job);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;  // guarded by mu
+    bool stop = false;                        // guarded by mu
+    std::thread thread;
+  };
+
+  void run(Worker& w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace plg::service

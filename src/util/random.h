@@ -66,6 +66,11 @@ class Rng {
   bool next_bool(double p) noexcept { return next_double() < p; }
 
   /// Derives an independent child generator (for parallel streams).
+  /// NOTE: split() mutates the parent, so the child's stream depends on
+  /// how many values the parent emitted first — two call sites that
+  /// race on one shared Rng get nondeterministic children. Concurrent
+  /// code should derive its workers' generators with stream_rng()
+  /// (stateless in the parent) instead.
   Rng split() noexcept { return Rng((*this)()); }
 
  private:
@@ -74,6 +79,20 @@ class Rng {
   }
   std::uint64_t state_[4];
 };
+
+/// Deterministic per-stream generator: stream `stream` of a run seeded
+/// with `seed`. Unlike split(), this is a pure function of (seed, stream)
+/// — no shared parent state, no ordering sensitivity — so N concurrent
+/// workers seeded with stream_rng(seed, worker_id) reproduce the same N
+/// sequences on every run regardless of thread scheduling. The stream id
+/// is golden-ratio-scrambled before the xor so that consecutive ids land
+/// in distant splitmix64 orbits (seed ^ 0, seed ^ 1, ... would differ in
+/// one bit and splitmix64 is seeded from the xor).
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t s = stream;
+  const std::uint64_t scrambled = splitmix64(s);
+  return Rng(seed ^ scrambled);
+}
 
 /// Fisher–Yates shuffle with our portable Rng.
 template <typename RandomIt>

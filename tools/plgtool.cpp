@@ -26,6 +26,17 @@
 //       integrity-check a persisted label store: section checksums plus a
 //       spot-check of every label. Names the failing section and byte
 //       offset on corruption. Exit 0 = intact, 1 = corrupt.
+//   plgtool serve <labels.plgl> [--threads T] [--shards S] [--batch B]
+//                 [--cache C] [--spot-check] [--scheme thin-fat|distance]
+//                 [--strict|--lenient]
+//       concurrent query service over the store: line protocol on
+//       stdin/stdout (A/D queries, BATCH, STATS, RELOAD, PING, QUIT —
+//       see src/service/serve.h). Labels are sharded across S CRC-
+//       verified snapshot shards and queries fan out over T workers.
+//   plgtool stats <labels.plgl>
+//       one-line JSON observability report for a store: integrity
+//       verdict, label count/bytes, label-size distribution, fat/thin
+//       split.
 //
 // Graph files use the `n m` + edge-per-line text format (src/graph/io.h);
 // a `.bin` suffix selects the binary format.
@@ -33,15 +44,20 @@
 // Every command accepts --fault <spec> (see FaultPlan::parse_spec) to
 // inject deterministic faults into the I/O paths — the testing hook for
 // the persistence layer's failure contract.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "plg.h"
+#include "service/engine.h"
+#include "service/serve.h"
+#include "service/snapshot.h"
 
 namespace {
 
@@ -63,6 +79,10 @@ using namespace plg;
                "  plgtool lquery <labels.plgl> <u> <v> [--strict|--lenient] "
                "[--graph <graph>]\n"
                "  plgtool verify <labels.plgl>\n"
+               "  plgtool serve <labels.plgl> [--threads T] [--shards S] "
+               "[--batch B] [--cache C] [--spot-check] "
+               "[--scheme thin-fat|distance] [--strict|--lenient]\n"
+               "  plgtool stats <labels.plgl>\n"
                "(all commands: [--fault <spec>] injects deterministic I/O "
                "faults)\n");
   std::exit(2);
@@ -78,9 +98,15 @@ struct Flags {
   std::optional<std::string> cprime;
   std::optional<std::uint64_t> tau;
   std::optional<std::uint64_t> f;
-  bool strict = true;  // lquery: verify store checksums before answering
+  bool strict = true;  // lquery/serve: verify store checksums first
   std::optional<std::string> graph;       // lquery: fallback source graph
   std::optional<std::string> fault_spec;  // global fault injection
+  std::optional<unsigned> threads;        // serve: worker count
+  std::optional<std::size_t> shards;      // serve/stats: snapshot shards
+  std::optional<std::size_t> batch;       // serve: queries per chunk
+  std::optional<std::size_t> cache;       // serve: per-worker cache entries
+  bool spot_check = false;                // serve: checksum every decode
+  std::string scheme = "thin-fat";        // serve: which decoder
 
   static Flags parse(int argc, char** argv, int first) {
     Flags f;
@@ -115,6 +141,18 @@ struct Flags {
         f.graph = value();
       } else if (key == "--fault") {
         f.fault_spec = value();
+      } else if (key == "--threads") {
+        f.threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--shards") {
+        f.shards = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--batch") {
+        f.batch = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--cache") {
+        f.cache = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--spot-check") {
+        f.spot_check = true;
+      } else if (key == "--scheme") {
+        f.scheme = value();
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
         usage();
@@ -355,6 +393,96 @@ int cmd_verify(int argc, char** argv) {
   return 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string path = argv[2];
+  const Flags f = Flags::parse(argc, argv, 3);
+  if (f.scheme != "thin-fat" && f.scheme != "distance") {
+    std::fprintf(stderr, "unknown --scheme: %s\n", f.scheme.c_str());
+    usage();
+  }
+  const std::size_t shards = f.shards.value_or(16);
+  const StoreVerify verify =
+      f.strict ? StoreVerify::kStrict : StoreVerify::kLenient;
+
+  service::ServiceOptions opt;
+  opt.threads = f.threads.value_or(0);
+  opt.chunk = f.batch.value_or(256);
+  opt.cache_entries = f.cache.value_or(1024);
+  opt.spot_check = f.spot_check;
+  opt.kind = f.scheme == "distance" ? service::QueryKind::kDistance
+                                    : service::QueryKind::kAdjacency;
+
+  auto snapshot = service::Snapshot::from_file(path, shards, verify);
+  service::QueryService svc(snapshot, opt);
+  std::fprintf(stderr,
+               "serving %s: %llu labels, %zu shards, %u workers "
+               "(protocol: A|D <u> <v>, BATCH n, STATS, RELOAD p, PING, "
+               "QUIT)\n",
+               path.c_str(),
+               static_cast<unsigned long long>(snapshot->size()),
+               snapshot->num_shards(), svc.threads());
+
+  service::ServeOptions sopt;
+  sopt.num_shards = shards;
+  sopt.verify = verify;
+  const std::uint64_t answered =
+      service::serve_loop(svc, std::cin, std::cout, sopt);
+  std::fprintf(stderr, "served %llu queries; final stats: %s\n",
+               static_cast<unsigned long long>(answered),
+               svc.stats().to_json().c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string path = argv[2];
+  Flags::parse(argc, argv, 3);  // accepts --fault
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "stats: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> blob(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  fault::on_read_buffer(blob);
+
+  const StoreCheckResult check = LabelStore::check(blob);
+  const LabelStore store = LabelStore::parse(blob, StoreVerify::kLenient);
+
+  std::size_t max_bits = 0;
+  std::uint64_t total_bits = 0;
+  std::size_t fat = 0, thin = 0, unparsed = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const std::size_t bits = store.size_bits(i);
+    max_bits = std::max(max_bits, bits);
+    total_bits += bits;
+    try {
+      if (thin_fat_parse_header(store.get(i)).fat) {
+        ++fat;
+      } else {
+        ++thin;
+      }
+    } catch (const DecodeError&) {
+      ++unparsed;  // store holds labels of some other scheme
+    }
+  }
+  const double avg_bits =
+      store.size() == 0
+          ? 0.0
+          : static_cast<double>(total_bits) / static_cast<double>(store.size());
+  std::printf(
+      "{\"file\":\"%s\",\"intact\":%s,\"version\":%u,\"labels\":%zu,"
+      "\"bytes\":%zu,\"total_bits\":%llu,\"max_bits\":%zu,\"avg_bits\":%.1f,"
+      "\"fat\":%zu,\"thin\":%zu,\"unparsed\":%zu%s%s%s}\n",
+      path.c_str(), check.ok ? "true" : "false", check.version, store.size(),
+      blob.size(), static_cast<unsigned long long>(total_bits), max_bits,
+      avg_bits, fat, thin, unparsed, check.ok ? "" : ",\"corruption\":\"",
+      check.ok ? "" : check.message.c_str(), check.ok ? "" : "\"");
+  return check.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,6 +505,8 @@ int main(int argc, char** argv) {
     if (cmd == "labels") return cmd_labels(argc, argv);
     if (cmd == "lquery") return cmd_lquery(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
   } catch (const std::exception& e) {
     // Exit 2 keeps errors distinct from query/lquery/verify's "no" (exit 1).
     std::fprintf(stderr, "error: %s\n", e.what());
