@@ -94,7 +94,7 @@ Labeling HybridScheme::encode(const Graph& g) const {
       w.write_gamma0(k);
       // Pick the cheaper payload (gamma0 length header included).
       const std::size_t list_cost =
-          2 * floor_log2(ids.size() + 1) + 1 +
+          static_cast<std::size_t>(2 * floor_log2(ids.size() + 1) + 1) +
           ids.size() * static_cast<std::size_t>(fat_width);
       if (list_cost < k) {
         w.write_bit(true);  // list layout

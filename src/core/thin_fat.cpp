@@ -181,10 +181,13 @@ ThinFatLabelView thin_fat_parse_header(const Label& l) {
   return view;
 }
 
+// plglint: noexcept-hot-path
 bool thin_fat_adjacent(const Label& a, const Label& b) {
   ParsedLabel pa = parse(a);
   ParsedLabel pb = parse(b);
   if (pa.width != pb.width) {
+    // plglint-disable(hot-path-throw): DecodeError on malformed labels
+    // is the decoder's documented failure contract (callers catch it).
     throw DecodeError("thin_fat: labels come from different graphs");
   }
   if (pa.id == pb.id) return false;  // same vertex
@@ -192,6 +195,8 @@ bool thin_fat_adjacent(const Label& a, const Label& b) {
   // Both fat: one bit of either row answers the query.
   if (pa.fat && pb.fat) {
     const std::uint64_t k = pa.rest.read_gamma0();
+    // plglint-disable(hot-path-throw): corrupt-label rejection is the
+    // decoder's documented failure contract (callers catch it).
     if (pb.id >= k) throw DecodeError("thin_fat: fat id out of row range");
     // Skip to the pb.id-th bit of the row.
     std::uint64_t skip = pb.id;

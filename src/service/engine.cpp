@@ -43,6 +43,7 @@ struct QueryService::WorkerState {
   /// bookkeeping. Fat-vertex labels dominate decode cost (their k-bit
   /// rows are the largest labels in the store) and repeat across
   /// queries, which is what makes this cache pay for itself.
+  // plglint: noexcept-hot-path
   const Label& fetch_label(const Snapshot& snap, std::uint64_t v,
                            bool spot_check, WorkerMetrics& m,
                            Label& scratch) {
@@ -54,6 +55,8 @@ struct QueryService::WorkerState {
       }
       m.cache_misses.fetch_add(1, std::memory_order_relaxed);
       if (spot_check && !snap.verify_label(v)) {
+        // plglint-disable(hot-path-throw): DecodeError is the in-band
+        // corruption contract; run_chunk catches it and answers kCorrupt.
         throw DecodeError("service: label fails spot checksum");
       }
       slot.label = snap.get(v);
@@ -63,6 +66,8 @@ struct QueryService::WorkerState {
     }
     m.cache_misses.fetch_add(1, std::memory_order_relaxed);
     if (spot_check && !snap.verify_label(v)) {
+      // plglint-disable(hot-path-throw): DecodeError is the in-band
+      // corruption contract; run_chunk catches it and answers kCorrupt.
       throw DecodeError("service: label fails spot checksum");
     }
     scratch = snap.get(v);
@@ -89,6 +94,7 @@ QueryService::QueryService(std::shared_ptr<const Snapshot> snapshot,
 
 QueryService::~QueryService() = default;
 
+// plglint: noexcept-hot-path
 void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
                              const QueryRequest* reqs, QueryResult* results,
                              std::size_t count) {

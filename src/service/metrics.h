@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace plg::service {
 
 inline constexpr int kLatencyBuckets = 64;
@@ -37,6 +39,7 @@ constexpr std::uint64_t latency_bucket_floor(int b) noexcept {
 
 class LatencyHistogram {
  public:
+  // plglint: noexcept-hot-path
   void record(std::uint64_t ns) noexcept {
     buckets_[latency_bucket(ns)].fetch_add(1, std::memory_order_relaxed);
   }
@@ -51,6 +54,30 @@ class LatencyHistogram {
 
 /// One worker's slot. alignas(64) prevents false sharing between
 /// neighboring workers' counters (the histogram is already line-sized).
+///
+/// Relaxed-atomic contract — why these members carry no PLG_GUARDED_BY
+/// and no mutex exists to name in one:
+///
+///   * Single writer: slot w is incremented only from pool worker w's
+///     thread (the engine indexes metrics_.slot(worker) inside a job
+///     pinned to that worker), so increments never contend.
+///   * Torn-read freedom is the only cross-thread requirement.
+///     aggregate() may run on any thread concurrently with increments;
+///     std::atomic<u64> guarantees each individual load is untorn, and
+///     relaxed ordering is sufficient because no reader derives a
+///     happens-before edge from these values — they are statistics, not
+///     synchronization. A total that trails an in-flight increment by a
+///     few counts is within a stats endpoint's precision.
+///   * No invariant spans two counters (e.g. hits+misses == lookups is
+///     only eventually true), so there is no multi-word state a lock
+///     would be needed to make atomic.
+///
+/// Under the thread-safety analysis this type is therefore correct with
+/// NO capability: adding a mutex here would put two atomic RMWs and a
+/// lock on the per-query path to protect data that needs neither. The
+/// plglint `mutex-guard` rule keeps the inverse honest — if a future
+/// change does add a mutex to this header, the build fails until
+/// something is declared PLG_GUARDED_BY it.
 struct alignas(64) WorkerMetrics {
   std::atomic<std::uint64_t> queries{0};        ///< requests answered
   std::atomic<std::uint64_t> batches{0};        ///< chunks executed
@@ -101,7 +128,11 @@ class MetricsRegistry {
     return static_cast<unsigned>(slots_.size());
   }
 
-  /// Cold-path aggregation across all worker slots.
+  /// Cold-path aggregation across all worker slots. Lock-free by the
+  /// WorkerMetrics relaxed-atomic contract above: every load is an
+  /// untorn relaxed atomic read, and the result is a point-in-time
+  /// estimate, not a linearizable snapshot. Safe to call from any
+  /// thread, concurrently with serving.
   ServiceStats aggregate() const;
 
  private:

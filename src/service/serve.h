@@ -14,6 +14,13 @@
 //   PING            -> "pong" (liveness probe)
 //   QUIT            end the loop
 //
+// Threading contract: serve_loop owns no locks and runs on exactly one
+// thread — all session state (the line buffer, the answered counter, the
+// batch scratch vectors) is function-local and single-threaded by
+// construction. Concurrency lives entirely inside QueryService, behind
+// the annotated SnapshotStore/ThreadPool capabilities; RELOAD is safe
+// mid-traffic because reload() is just SnapshotStore::swap.
+//
 // Degraded answers stay in-band: "range" for an id outside the snapshot,
 // "corrupt" for a label that failed its checksum or decode. Protocol
 // errors reply "err <reason>" and the loop continues — a malformed line

@@ -11,7 +11,8 @@
 //      const and touch only immutable state; any number of threads may
 //      read one concurrently without synchronization.
 //   3. SnapshotStore holds the current snapshot in a shared_ptr guarded
-//      by a std::shared_mutex. Readers acquire() a shared_ptr copy (a
+//      by an annotated util::SharedMutex (PLG_GUARDED_BY below makes the
+//      compiler enforce the discipline). Readers acquire() a copy (a
 //      shared lock held for two pointer copies) and keep using *their*
 //      snapshot for the whole batch even if a swap happens mid-batch.
 //      Writers build the replacement entirely outside the lock and
@@ -38,14 +39,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "core/label_store.h"
 #include "core/labeling.h"
 #include "service/shard_map.h"
+#include "util/locks.h"
+#include "util/thread_annotations.h"
 
 namespace plg::service {
 
@@ -121,8 +122,9 @@ class SnapshotStore {
   /// two pointer copies. Readers never exclude each other, and a writer
   /// only excludes them for the duration of a pointer swap. The returned
   /// pointer is never null.
-  std::shared_ptr<const Snapshot> acquire() const {
-    std::shared_lock lk(mu_);
+  // plglint: noexcept-hot-path
+  std::shared_ptr<const Snapshot> acquire() const PLG_EXCLUDES(mu_) {
+    util::SharedLock lk(mu_);
     return current_;
   }
 
@@ -130,9 +132,9 @@ class SnapshotStore {
   /// In-flight batches keep serving from the snapshot they acquired; the
   /// replaced snapshot is released *outside* the lock so its destructor
   /// (potentially megabytes of shard frees) never stalls readers.
-  void swap(std::shared_ptr<const Snapshot> next) {
+  void swap(std::shared_ptr<const Snapshot> next) PLG_EXCLUDES(mu_) {
     {
-      std::unique_lock lk(mu_);
+      util::ExclusiveLock lk(mu_);
       current_.swap(next);
     }
     generation_.fetch_add(1, std::memory_order_acq_rel);
@@ -144,9 +146,9 @@ class SnapshotStore {
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::shared_ptr<const Snapshot> current_;
-  std::atomic<std::uint64_t> generation_{0};
+  mutable util::SharedMutex mu_;
+  std::shared_ptr<const Snapshot> current_ PLG_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> generation_{0};  // relaxed stat, not guarded
 };
 
 }  // namespace plg::service

@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 ThreadPool::~ThreadPool() {
   for (auto& w : workers_) {
     {
-      std::lock_guard<std::mutex> lock(w->mu);
+      util::MutexLock lock(w->mu);
       w->stop = true;
     }
     w->cv.notify_one();
@@ -38,7 +38,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(unsigned worker, std::function<void()> job) {
   Worker& w = *workers_[worker % workers_.size()];
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    util::MutexLock lock(w.mu);
     if (w.stop) {
       throw std::logic_error("ThreadPool::submit after shutdown");
     }
@@ -51,8 +51,12 @@ void ThreadPool::run(Worker& w) {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(w.mu);
-      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      util::MutexLock lock(w.mu);
+      // Explicit predicate loop instead of cv.wait(lock, pred): the
+      // analysis does not propagate lock state into the predicate
+      // lambda, so guarded reads of w.stop / w.queue must be spelled in
+      // this scope, where it can see MutexLock holding w.mu.
+      while (!w.stop && w.queue.empty()) lock.wait(w.cv);
       if (w.queue.empty()) return;  // stop requested and queue drained
       job = std::move(w.queue.front());
       w.queue.pop_front();

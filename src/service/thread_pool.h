@@ -18,9 +18,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/locks.h"
+#include "util/thread_annotations.h"
 
 namespace plg::service {
 
@@ -46,10 +48,10 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
+    util::Mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> queue;  // guarded by mu
-    bool stop = false;                        // guarded by mu
+    std::deque<std::function<void()>> queue PLG_GUARDED_BY(mu);
+    bool stop PLG_GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

@@ -1,0 +1,114 @@
+// Annotated mutex types and RAII lock holders.
+//
+// Why not std::mutex + std::scoped_lock directly? Clang Thread Safety
+// Analysis reasons about *annotated* types: libstdc++'s mutexes carry no
+// capability attributes and its lock guards no scoped-capability
+// attributes, so locking through them is invisible to the analysis — a
+// `std::shared_lock lk(mu_)` neither satisfies PLG_GUARDED_BY(mu_) nor
+// gets checked for double-lock/forgotten-unlock. These thin wrappers
+// delegate every operation to the std types (same codegen, same TSan
+// view) and exist purely to carry the annotations the analysis needs.
+//
+// The service layer's rule (enforced by plglint rule `mutex-guard`): a
+// mutex member is always a util::Mutex or util::SharedMutex, and at least
+// one member is declared PLG_GUARDED_BY it — a mutex nothing is guarded
+// by is either dead weight or an undeclared contract.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace plg::util {
+
+/// std::mutex with the capability annotation the analysis requires.
+class PLG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLG_ACQUIRE() { mu_.lock(); }
+  void unlock() PLG_RELEASE() { mu_.unlock(); }
+  bool try_lock() PLG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable interop only —
+  /// MutexLock::wait is the sole intended caller. Locking through the
+  /// native handle bypasses the analysis; don't.
+  std::mutex& native_handle() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with shared/exclusive capability annotations.
+class PLG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() PLG_ACQUIRE() { mu_.lock(); }
+  void unlock() PLG_RELEASE() { mu_.unlock(); }
+  bool try_lock() PLG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() PLG_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() PLG_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (annotated std::unique_lock stand-in).
+class PLG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PLG_ACQUIRE(mu) : lk_(mu.native_handle()) {}
+  ~MutexLock() PLG_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Atomically releases the mutex, waits, and reacquires before
+  /// returning. From the analysis's perspective the capability is held
+  /// across the call (condvars reacquire before wait returns), so no
+  /// release/acquire annotation is needed — the same convention as
+  /// absl::CondVar::Wait.
+  void wait(std::condition_variable& cv) { cv.wait(lk_); }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// RAII exclusive lock on a SharedMutex (writer side).
+class PLG_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) PLG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~ExclusiveLock() PLG_RELEASE() { mu_.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock on a SharedMutex (reader side).
+class PLG_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) PLG_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() PLG_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace plg::util

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <limits>
 #include <utility>
 
@@ -97,11 +98,12 @@ inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) noexcept {
 /// Fisher–Yates shuffle with our portable Rng.
 template <typename RandomIt>
 void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  using Diff = typename std::iterator_traits<RandomIt>::difference_type;
   const auto n = static_cast<std::uint64_t>(last - first);
   for (std::uint64_t i = n; i > 1; --i) {
     const auto j = rng.next_below(i);
     using std::swap;
-    swap(first[i - 1], first[j]);
+    swap(first[static_cast<Diff>(i - 1)], first[static_cast<Diff>(j)]);
   }
 }
 

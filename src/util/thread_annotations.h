@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis annotations, PLG_-prefixed.
+//
+// These macros attach compile-time locking contracts to mutexes, guarded
+// data, and locking functions. Under Clang with -Wthread-safety (wired up
+// by the PLG_THREAD_SAFETY CMake option, which also promotes the group to
+// errors) the compiler proves at every call site that the declared
+// capability is held — turning the service layer's locking discipline
+// from a TSan-checked runtime property into a build failure. Under any
+// other compiler every macro expands to nothing, so annotated headers
+// stay portable.
+//
+// Contract vocabulary (see util/locks.h for the annotated mutex types):
+//
+//   PLG_CAPABILITY(name)      this class is a lockable capability
+//   PLG_SCOPED_CAPABILITY     this class is an RAII lock holder
+//   PLG_GUARDED_BY(mu)        reads need mu shared, writes need it held
+//                             exclusively
+//   PLG_PT_GUARDED_BY(mu)     same, for the pointee of a pointer member
+//   PLG_REQUIRES(mu)          caller must hold mu exclusively
+//   PLG_REQUIRES_SHARED(mu)   caller must hold mu at least shared
+//   PLG_ACQUIRE(mu)           function acquires mu exclusively
+//   PLG_ACQUIRE_SHARED(mu)    function acquires mu shared
+//   PLG_RELEASE(mu)           function releases exclusively-held mu
+//   PLG_RELEASE_SHARED(mu)    function releases shared-held mu
+//   PLG_RELEASE_GENERIC(mu)   function releases mu however it was held
+//   PLG_TRY_ACQUIRE(ok, mu)   acquires mu iff the return value is `ok`
+//   PLG_EXCLUDES(mu)          caller must NOT hold mu (deadlock guard)
+//   PLG_ASSERT_CAPABILITY(mu) runtime-asserts mu is held (trust me edge)
+//   PLG_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   PLG_NO_THREAD_SAFETY_ANALYSIS  opt this function out (last resort;
+//                             plglint requires a justification comment
+//                             on suppressions for the same reason)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PLG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PLG_THREAD_ANNOTATION
+#define PLG_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define PLG_CAPABILITY(x) PLG_THREAD_ANNOTATION(capability(x))
+#define PLG_SCOPED_CAPABILITY PLG_THREAD_ANNOTATION(scoped_lockable)
+
+#define PLG_GUARDED_BY(x) PLG_THREAD_ANNOTATION(guarded_by(x))
+#define PLG_PT_GUARDED_BY(x) PLG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define PLG_REQUIRES(...) \
+  PLG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PLG_REQUIRES_SHARED(...) \
+  PLG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define PLG_ACQUIRE(...) PLG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PLG_ACQUIRE_SHARED(...) \
+  PLG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PLG_RELEASE(...) PLG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PLG_RELEASE_SHARED(...) \
+  PLG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PLG_RELEASE_GENERIC(...) \
+  PLG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define PLG_TRY_ACQUIRE(...) \
+  PLG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define PLG_EXCLUDES(...) PLG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PLG_ASSERT_CAPABILITY(x) PLG_THREAD_ANNOTATION(assert_capability(x))
+#define PLG_RETURN_CAPABILITY(x) PLG_THREAD_ANNOTATION(lock_returned(x))
+
+#define PLG_NO_THREAD_SAFETY_ANALYSIS \
+  PLG_THREAD_ANNOTATION(no_thread_safety_analysis)

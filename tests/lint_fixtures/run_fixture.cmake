@@ -1,0 +1,41 @@
+# Runs plglint on one fixture and asserts its EXACT output — rule ids,
+# file paths, and line numbers — against the checked-in expected file.
+#
+# Variables:
+#   PLGLINT   path to the plglint executable
+#   FIXTURE   fixture path relative to this directory (also the cwd the
+#             tool runs in, so reported paths are stable)
+#   EXPECTED  absolute path to the expected-output file; empty content
+#             means the fixture must lint clean (exit 0), anything else
+#             means findings are required (exit 1)
+#   WORKDIR   this directory (tests/lint_fixtures)
+
+if(NOT PLGLINT OR NOT FIXTURE OR NOT EXPECTED OR NOT WORKDIR)
+  message(FATAL_ERROR "run_fixture.cmake: PLGLINT, FIXTURE, EXPECTED and "
+                      "WORKDIR must all be set")
+endif()
+
+execute_process(
+  COMMAND ${PLGLINT} ${FIXTURE}
+  WORKING_DIRECTORY ${WORKDIR}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE errout
+  RESULT_VARIABLE code)
+
+file(READ ${EXPECTED} want)
+
+if(want STREQUAL "")
+  set(want_code 0)
+else()
+  set(want_code 1)
+endif()
+
+if(NOT code EQUAL want_code)
+  message(FATAL_ERROR "plglint ${FIXTURE}: exit ${code}, wanted "
+                      "${want_code}\nstdout:\n${actual}\nstderr:\n${errout}")
+endif()
+
+if(NOT actual STREQUAL want)
+  message(FATAL_ERROR "plglint ${FIXTURE}: output mismatch\n"
+                      "--- wanted ---\n${want}\n--- got ---\n${actual}")
+endif()

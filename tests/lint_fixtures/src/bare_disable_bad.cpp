@@ -1,0 +1,6 @@
+// Fixture: a suppression with no justification.
+// Expected: bare-disable on the comment line.
+#include <cstdint>
+
+// plglint-disable(c-cast)
+std::uint64_t identity(std::uint64_t x) { return x; }

@@ -1,0 +1,7 @@
+// Fixture: a C-style cast in src/.
+// Expected: c-cast on the cast line.
+#include <cstdint>
+
+std::uint32_t low_word(std::uint64_t x) {
+  return (std::uint32_t)x;
+}

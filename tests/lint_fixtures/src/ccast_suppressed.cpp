@@ -1,0 +1,6 @@
+// Fixture: a C-style cast with a justified suppression. Clean.
+#include <cstdint>
+
+std::uint32_t low_word(std::uint64_t x) {
+  return (std::uint32_t)x;  // plglint-disable(c-cast): fixture showing a justified exemption
+}

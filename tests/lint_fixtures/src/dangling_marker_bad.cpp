@@ -1,0 +1,5 @@
+// Fixture: a hot-path marker with only a declaration after it.
+// Expected: dangling-marker on the marker line.
+
+// plglint: noexcept-hot-path
+int declared_only(int x);

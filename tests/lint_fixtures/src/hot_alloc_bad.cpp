@@ -1,0 +1,8 @@
+// Fixture: a marked hot-path function that grows a vector.
+// Expected: hot-path-alloc on the push_back line.
+#include <vector>
+
+// plglint: noexcept-hot-path
+void remember(std::vector<int>& log, int x) {
+  log.push_back(x);
+}

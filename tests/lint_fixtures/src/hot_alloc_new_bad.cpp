@@ -1,0 +1,7 @@
+// Fixture: a marked hot-path function that calls operator new.
+// Expected: hot-path-alloc on the new line.
+
+// plglint: noexcept-hot-path
+int* fresh_counter() {
+  return new int(0);
+}

@@ -1,0 +1,9 @@
+// Fixture: a marked hot-path function that throws.
+// Expected: hot-path-throw on the throw line.
+#include <stdexcept>
+
+// plglint: noexcept-hot-path
+int clamp_positive(int x) {
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}

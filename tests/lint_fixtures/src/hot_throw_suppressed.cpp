@@ -1,0 +1,10 @@
+// Fixture: the same throw, suppressed with a justification. Clean.
+#include <stdexcept>
+
+// plglint: noexcept-hot-path
+int clamp_positive(int x) {
+  // plglint-disable(hot-path-throw): fixture demonstrating a justified
+  // in-band failure contract, mirroring DecodeError in the decoders.
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}

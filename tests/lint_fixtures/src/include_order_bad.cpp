@@ -1,0 +1,7 @@
+// Fixture: a system include after a project include.
+// Expected: include-order on the system include line.
+#include "include_order_bad.h"
+#include "pragma_missing_bad.h"
+#include <vector>
+
+std::uint64_t answer() { return 42; }

@@ -1,0 +1,5 @@
+// Fixture: a header whose first code line is not a pragma once guard.
+// Expected: pragma-once on the first code line.
+#include <cstdint>
+
+std::uint64_t answer();

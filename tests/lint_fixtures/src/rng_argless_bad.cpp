@@ -1,0 +1,8 @@
+// Fixture: a default-seeded mt19937 outside util/random.
+// Expected: rng-determinism on the declaration line.
+#include <random>
+
+unsigned roll() {
+  std::mt19937 gen;
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,8 @@
+// Fixture: entropy from std::random_device outside util/random.
+// Expected: rng-determinism on the declaration line.
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}

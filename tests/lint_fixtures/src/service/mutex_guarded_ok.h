@@ -1,0 +1,13 @@
+// Fixture: the same shape with the contract declared. Clean.
+#pragma once
+#include "util/locks.h"
+#include "util/thread_annotations.h"
+
+class SessionTable {
+ public:
+  void touch();
+
+ private:
+  plg::util::Mutex mu_;
+  int sessions_ PLG_GUARDED_BY(mu_) = 0;
+};

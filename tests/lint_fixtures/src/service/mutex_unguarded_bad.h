@@ -1,0 +1,13 @@
+// Fixture: a service-layer mutex nothing is declared guarded by.
+// Expected: mutex-guard on the member line.
+#pragma once
+#include <mutex>
+
+class SessionTable {
+ public:
+  void touch();
+
+ private:
+  std::mutex mu_;
+  int sessions_ = 0;
+};

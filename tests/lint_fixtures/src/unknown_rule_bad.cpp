@@ -1,0 +1,6 @@
+// Fixture: a suppression naming a rule plglint does not have.
+// Expected: unknown-rule on the comment line.
+#include <cstdint>
+
+// plglint-disable(no-such-rule): justification does not save a typo
+std::uint64_t identity(std::uint64_t x) { return x; }

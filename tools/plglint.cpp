@@ -1,0 +1,657 @@
+// plglint — the project-rule static checker.
+//
+// Enforces plg conventions the compiler cannot see. clang-tidy and the
+// thread-safety analysis check general C++ contracts; plglint checks the
+// *project's* contracts: hot paths marked noexcept must not throw or
+// allocate, every mutex in the service layer must guard something, RNG
+// use outside util/random must be deterministic, src/ avoids C casts,
+// and headers keep include hygiene. It is a tokenizer, not a parser —
+// rules are designed so that token patterns decide them exactly, and the
+// fixture corpus under tests/lint_fixtures/ pins every rule's behavior
+// (exact rule id + line) as a ctest.
+//
+// Usage:   plglint [--list-rules] <file-or-dir>...
+// Output:  <file>:<line>: [<rule-id>] <message>
+// Exit:    0 clean, 1 findings, 2 usage/IO error.
+//
+// Suppression: a comment of the form "plglint-disable" + "(rule-id):
+// justification" (spelled without the quotes and split here so this very
+// file lints clean) silences that rule on its own line — or, when it
+// stands alone, on the next line holding code. The justification text is
+// mandatory: a bare disable is itself a finding, because an unexplained
+// exemption is a rule violation with extra steps. The hot-path rules
+// activate on a comment of the form "plglint:" + " noexcept-hot-path"
+// placed directly above a function; the checker then scans that
+// function's body.
+//
+// Rule scoping is path-based and documented per rule in kRuleTable.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rule registry
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view scope;
+  std::string_view what;
+};
+
+constexpr RuleInfo kRuleTable[] = {
+    {"hot-path-throw", "marked functions",
+     "no `throw` inside a function marked noexcept-hot-path"},
+    {"hot-path-alloc", "marked functions",
+     "no `new` / malloc family / allocating container call inside a "
+     "function marked noexcept-hot-path"},
+    {"mutex-guard", "src/service/",
+     "a mutex-typed member must have a PLG_GUARDED_BY / PLG_REQUIRES / "
+     "PLG_ACQUIRE user naming it in the same file"},
+    {"rng-determinism", "everywhere except util/random.*",
+     "no rand()/srand()/random_device/default-seeded mt19937 — all "
+     "randomness flows through util/random (seeded, reproducible)"},
+    {"c-cast", "src/",
+     "no C-style casts; use static_cast / checked helpers"},
+    {"pragma-once", "headers",
+     "first non-comment line of a header must be #pragma once"},
+    {"include-order", "all sources",
+     "own header first (in .cpp), then <system> includes, then "
+     "\"project\" includes — no <system> include after a project one"},
+    {"bare-disable", "all sources",
+     "a suppression comment must carry a non-empty justification"},
+    {"unknown-rule", "all sources",
+     "a suppression names a rule id plglint does not know"},
+    {"dangling-marker", "all sources",
+     "a hot-path marker comment with no function body following it"},
+};
+
+bool known_rule(std::string_view id) {
+  for (const RuleInfo& r : kRuleTable) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Scanner: splits a source file into code tokens, comments, and includes,
+// skipping string/char literals (including raw strings) so that rule
+// words inside literals never trigger.
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;  // identifier or keyword (vs punctuation/number)
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;
+};
+
+struct Include {
+  int line = 0;
+  char kind = '<';  // '<' system, '"' project
+};
+
+struct FileScan {
+  std::vector<Token> toks;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+  int first_code_line = 0;      // 0 = file has no code lines
+  std::string first_code_text;  // trimmed text of that line
+  std::set<int> code_lines;     // lines holding at least one token
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+FileScan scan_file(const std::string& text) {
+  FileScan out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  auto note_code_line = [&](int ln) { out.code_lines.insert(ln); };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments.push_back({text.substr(i + 2, end - i - 2), line});
+      i = end;
+      continue;
+    }
+    // Block comment (each line of it is recorded so suppressions and
+    // markers inside multi-line comments still attach to their line).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = i + 2;
+      std::string cur;
+      while (j < n && !(text[j] == '*' && j + 1 < n && text[j + 1] == '/')) {
+        if (text[j] == '\n') {
+          out.comments.push_back({cur, line});
+          cur.clear();
+          ++line;
+        } else {
+          cur += text[j];
+        }
+        ++j;
+      }
+      out.comments.push_back({cur, line});
+      i = (j < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(') delim += text[p++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, p);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < std::min(end + close.size(), n); ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = std::min(end + close.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;  // unterminated; keep counting
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // First code content on this line?
+    if (out.first_code_line == 0) {
+      out.first_code_line = line;
+      std::size_t ls = text.rfind('\n', i);
+      ls = (ls == std::string::npos) ? 0 : ls + 1;
+      std::size_t le = text.find('\n', i);
+      if (le == std::string::npos) le = n;
+      std::string raw = text.substr(ls, le - ls);
+      if (std::size_t cut = raw.find("//"); cut != std::string::npos) {
+        raw = raw.substr(0, cut);
+      }
+      const auto b = raw.find_first_not_of(" \t");
+      const auto e = raw.find_last_not_of(" \t\r");
+      out.first_code_text =
+          (b == std::string::npos) ? "" : raw.substr(b, e - b + 1);
+    }
+    // Preprocessor include directive (still tokenized below for other
+    // rules; the include list feeds include-order).
+    if (c == '#') {
+      std::size_t le = text.find('\n', i);
+      if (le == std::string::npos) le = n;
+      const std::string dir = text.substr(i, le - i);
+      std::size_t p = dir.find("include");
+      if (p != std::string::npos) {
+        for (std::size_t k = p + 7; k < dir.size(); ++k) {
+          if (dir[k] == '<' || dir[k] == '"') {
+            out.includes.push_back({line, dir[k]});
+            break;
+          }
+          if (!std::isspace(static_cast<unsigned char>(dir[k]))) break;
+        }
+      }
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.toks.push_back({text.substr(i, j - i), line, true});
+      note_code_line(line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.')) ++j;
+      out.toks.push_back({text.substr(i, j - i), line, false});
+      note_code_line(line);
+      i = j;
+      continue;
+    }
+    out.toks.push_back({std::string(1, c), line, false});
+    note_code_line(line);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions and markers
+
+struct Suppression {
+  std::string rule;
+  std::set<int> lines;  // lines it covers
+};
+
+// Extracts disable-comment suppressions (see file header) and validates
+// that each names a known rule and carries a justification.
+std::vector<Suppression> collect_suppressions(const FileScan& scan,
+                                              const std::string& file,
+                                              std::vector<Finding>& findings) {
+  std::vector<Suppression> out;
+  const std::string key = "plglint-disable(";
+  for (const Comment& c : scan.comments) {
+    std::size_t p = c.text.find(key);
+    if (p == std::string::npos) continue;
+    const std::size_t open = p + key.size();
+    const std::size_t close = c.text.find(')', open);
+    if (close == std::string::npos) {
+      findings.push_back({file, c.line, "bare-disable",
+                          "malformed suppression (missing ')')"});
+      continue;
+    }
+    const std::string rule = c.text.substr(open, close - open);
+    if (!known_rule(rule)) {
+      findings.push_back({file, c.line, "unknown-rule",
+                          "suppression names unknown rule '" + rule + "'"});
+      continue;
+    }
+    // Justification: non-blank text after "):" (colon optional).
+    std::string rest = c.text.substr(close + 1);
+    if (!rest.empty() && rest[0] == ':') rest = rest.substr(1);
+    const bool justified =
+        rest.find_first_not_of(" \t\r") != std::string::npos;
+    if (!justified) {
+      findings.push_back(
+          {file, c.line, "bare-disable",
+           "suppression of '" + rule + "' lacks a justification"});
+      continue;
+    }
+    Suppression s;
+    s.rule = rule;
+    s.lines.insert(c.line);
+    if (scan.code_lines.count(c.line) == 0) {
+      // Stand-alone comment (possibly continued on following comment
+      // lines): cover the next line that holds code.
+      auto it = scan.code_lines.upper_bound(c.line);
+      if (it != scan.code_lines.end()) s.lines.insert(*it);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool suppressed(const std::vector<Suppression>& sup, const std::string& rule,
+                int line) {
+  for (const Suppression& s : sup) {
+    if (s.rule == rule && s.lines.count(line)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping helpers (paths normalized to '/' before rules run)
+
+bool path_in(const std::string& path, std::string_view dir) {
+  // dir like "src/" or "src/service/": match at start or after a '/'.
+  const std::string d(dir);
+  if (path.rfind(d, 0) == 0) return true;
+  return path.find("/" + d) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 2 && (path.rfind(".h") == path.size() - 2 ||
+                             path.rfind(".hpp") == path.size() - 4);
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+void check_pragma_once(const std::string& file, const FileScan& scan,
+                       std::vector<Finding>& out) {
+  if (!is_header(file)) return;
+  if (scan.first_code_line == 0) return;  // empty / comment-only header
+  if (scan.first_code_text != "#pragma once") {
+    out.push_back({file, scan.first_code_line, "pragma-once",
+                   "first non-comment line of a header must be "
+                   "'#pragma once' (found '" +
+                       scan.first_code_text + "')"});
+  }
+}
+
+void check_include_order(const std::string& file, const FileScan& scan,
+                         std::vector<Finding>& out) {
+  bool seen_project = false;
+  std::size_t idx = 0;
+  // A .cpp's first include may be its own header (project-quoted) by
+  // convention; the grouping rule starts after it.
+  if (!is_header(file) && !scan.includes.empty() &&
+      scan.includes[0].kind == '"') {
+    idx = 1;
+  }
+  for (; idx < scan.includes.size(); ++idx) {
+    const Include& inc = scan.includes[idx];
+    if (inc.kind == '"') {
+      seen_project = true;
+    } else if (seen_project) {
+      out.push_back({file, inc.line, "include-order",
+                     "<system> include after a \"project\" include — keep "
+                     "groups: own header, <system>, \"project\""});
+    }
+  }
+}
+
+const std::set<std::string>& cast_type_names() {
+  static const std::set<std::string> kTypes = {
+      "int",      "unsigned", "signed",    "long",     "short",
+      "char",     "float",    "double",    "bool",     "wchar_t",
+      "size_t",   "ssize_t",  "ptrdiff_t", "intptr_t", "uintptr_t",
+      "int8_t",   "int16_t",  "int32_t",   "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t",  "uintmax_t", "intmax_t"};
+  return kTypes;
+}
+
+void check_c_casts(const std::string& file, const FileScan& scan,
+                   const std::vector<Suppression>& sup,
+                   std::vector<Finding>& out) {
+  if (!path_in(file, "src/")) return;
+  const auto& types = cast_type_names();
+  static const std::set<std::string> kConnect = {"std", "const", "volatile",
+                                                 ":", "*", "&"};
+  static const std::set<std::string> kPrevPunct = {
+      "(", ",", "=", "+", "-", "*", "/", "%", "<", ">", "&",
+      "|", "^", "!", "?", ":", ";", "{", "[", "~"};
+  static const std::set<std::string> kPrevKeyword = {"return", "case"};
+  const auto& t = scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "(") continue;
+    // Previous token must put us in expression position.
+    if (i > 0) {
+      const Token& p = t[i - 1];
+      const bool ok = (p.ident && kPrevKeyword.count(p.text)) ||
+                      (!p.ident && kPrevPunct.count(p.text));
+      if (!ok) continue;
+    }
+    // Paren contents: connectors + at least one builtin type name, no
+    // nesting — i.e. the parenthesized operand IS a type.
+    std::size_t j = i + 1;
+    bool saw_type = false, bad = false;
+    for (; j < t.size() && t[j].text != ")"; ++j) {
+      if (types.count(t[j].text)) {
+        saw_type = true;
+      } else if (!kConnect.count(t[j].text)) {
+        bad = true;
+        break;
+      }
+    }
+    if (bad || !saw_type || j >= t.size() || j == i + 1) continue;
+    // Next token must begin an expression (the cast operand).
+    if (j + 1 >= t.size()) continue;
+    const Token& nx = t[j + 1];
+    static const std::set<std::string> kOperandPunct = {"(", "-", "+", "~",
+                                                        "!", "&", "*"};
+    const bool operand =
+        nx.ident || std::isdigit(static_cast<unsigned char>(nx.text[0])) ||
+        kOperandPunct.count(nx.text) > 0;
+    if (!operand) continue;
+    if (!suppressed(sup, "c-cast", t[i].line)) {
+      out.push_back({file, t[i].line, "c-cast",
+                     "C-style cast — use static_cast (or a checked "
+                     "conversion helper)"});
+    }
+  }
+}
+
+void check_rng(const std::string& file, const FileScan& scan,
+               const std::vector<Suppression>& sup,
+               std::vector<Finding>& out) {
+  if (file.find("util/random.") != std::string::npos) return;
+  static const std::set<std::string> kBanned = {"rand", "srand", "rand_r",
+                                                "drand48", "random_device"};
+  const auto& t = scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident) continue;
+    if (kBanned.count(t[i].text)) {
+      // Only calls / type uses, not e.g. a struct field named `rand`:
+      // require the previous token to not be '.' or '->'-ish. Keep it
+      // simple: flag, suppression handles intentional exceptions.
+      if (!suppressed(sup, "rng-determinism", t[i].line)) {
+        out.push_back({file, t[i].line, "rng-determinism",
+                       "'" + t[i].text +
+                           "' is nondeterministic — use util/random "
+                           "(seeded Rng / stream_rng)"});
+      }
+      continue;
+    }
+    if (t[i].text == "mt19937" || t[i].text == "mt19937_64") {
+      const bool temp_default = i + 2 < t.size() && t[i + 1].text == "(" &&
+                                t[i + 2].text == ")";
+      const bool var_default = i + 2 < t.size() && t[i + 1].ident &&
+                               t[i + 2].text == ";";
+      const bool brace_default = i + 3 < t.size() && t[i + 1].ident &&
+                                 t[i + 2].text == "{" && t[i + 3].text == "}";
+      const bool bare_brace = i + 2 < t.size() && t[i + 1].text == "{" &&
+                              t[i + 2].text == "}";
+      if (temp_default || var_default || brace_default || bare_brace) {
+        if (!suppressed(sup, "rng-determinism", t[i].line)) {
+          out.push_back({file, t[i].line, "rng-determinism",
+                         "default-seeded " + t[i].text +
+                             " — seed explicitly via util/random"});
+        }
+      }
+    }
+  }
+}
+
+void check_mutex_guard(const std::string& file, const FileScan& scan,
+                       const std::vector<Suppression>& sup,
+                       std::vector<Finding>& out) {
+  if (!path_in(file, "src/service/")) return;
+  static const std::set<std::string> kMutexTypes = {
+      "mutex",       "shared_mutex",          "recursive_mutex",
+      "timed_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+      "Mutex",       "SharedMutex"};
+  static const std::set<std::string> kUsers = {
+      "PLG_GUARDED_BY", "PLG_PT_GUARDED_BY", "PLG_REQUIRES",
+      "PLG_REQUIRES_SHARED", "PLG_ACQUIRE", "PLG_ACQUIRE_SHARED",
+      "PLG_RELEASE", "PLG_RELEASE_SHARED", "PLG_EXCLUDES"};
+  const auto& t = scan.toks;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!t[i].ident || !kMutexTypes.count(t[i].text)) continue;
+    if (!t[i + 1].ident || t[i + 2].text != ";") continue;
+    const std::string& name = t[i + 1].text;
+    // Does any annotation macro in this file name this mutex?
+    bool used = false;
+    for (std::size_t k = 0; k + 2 < t.size() && !used; ++k) {
+      if (t[k].ident && kUsers.count(t[k].text) && t[k + 1].text == "(" &&
+          t[k + 2].text == name) {
+        used = true;
+      }
+    }
+    if (!used && !suppressed(sup, "mutex-guard", t[i].line)) {
+      out.push_back({file, t[i].line, "mutex-guard",
+                     "mutex '" + name +
+                         "' has no PLG_GUARDED_BY/PLG_REQUIRES/"
+                         "PLG_ACQUIRE user in this file — an unguarded "
+                         "mutex is an undeclared locking contract"});
+    }
+  }
+}
+
+void check_hot_paths(const std::string& file, const FileScan& scan,
+                     const std::vector<Suppression>& sup,
+                     std::vector<Finding>& out) {
+  static const std::set<std::string> kAlloc = {
+      "new",          "malloc",       "calloc",  "realloc", "aligned_alloc",
+      "strdup",       "make_unique",  "make_shared", "push_back",
+      "emplace_back", "emplace",      "resize",  "reserve", "insert",
+      "append",       "assign",       "to_string", "substr"};
+  const std::string key = "plglint:";
+  const auto& t = scan.toks;
+  for (const Comment& c : scan.comments) {
+    std::size_t p = c.text.find(key);
+    if (p == std::string::npos) continue;
+    std::istringstream ss(c.text.substr(p + key.size()));
+    std::string marker;
+    ss >> marker;
+    if (marker != "noexcept-hot-path") continue;
+    // Find the function body following the marker: the first '{' at
+    // paren depth 0 after the marker's line.
+    std::size_t i = 0;
+    while (i < t.size() && t[i].line <= c.line) ++i;
+    int paren = 0;
+    std::size_t body = t.size();
+    for (std::size_t k = i; k < t.size(); ++k) {
+      if (t[k].text == "(") ++paren;
+      if (t[k].text == ")") --paren;
+      if (t[k].text == ";" && paren == 0) break;  // declaration, no body
+      if (t[k].text == "{" && paren == 0) {
+        body = k;
+        break;
+      }
+    }
+    if (body == t.size()) {
+      out.push_back({file, c.line, "dangling-marker",
+                     "noexcept-hot-path marker not followed by a "
+                     "function body"});
+      continue;
+    }
+    int depth = 0;
+    for (std::size_t k = body; k < t.size(); ++k) {
+      if (t[k].text == "{") ++depth;
+      if (t[k].text == "}" && --depth == 0) break;
+      if (!t[k].ident) continue;
+      if (t[k].text == "throw") {
+        if (!suppressed(sup, "hot-path-throw", t[k].line)) {
+          out.push_back({file, t[k].line, "hot-path-throw",
+                         "throw inside a noexcept-hot-path function"});
+        }
+      } else if (kAlloc.count(t[k].text)) {
+        if (!suppressed(sup, "hot-path-alloc", t[k].line)) {
+          out.push_back({file, t[k].line, "hot-path-alloc",
+                         "'" + t[k].text +
+                             "' allocates inside a noexcept-hot-path "
+                             "function"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+void lint_file(const fs::path& p, std::vector<Finding>& findings) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    findings.push_back({p.generic_string(), 0, "io-error", "cannot read"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string file = p.generic_string();
+  const FileScan scan = scan_file(buf.str());
+  const auto sup = collect_suppressions(scan, file, findings);
+  check_pragma_once(file, scan, findings);
+  check_include_order(file, scan, findings);
+  check_c_casts(file, scan, sup, findings);
+  check_rng(file, scan, sup, findings);
+  check_mutex_guard(file, scan, sup, findings);
+  check_hot_paths(file, scan, sup, findings);
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+int run(int argc, char** argv) {
+  std::vector<fs::path> files;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : kRuleTable) {
+        std::cout << r.id << "\t[" << r.scope << "]\t" << r.what << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: plglint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        const std::string name = it->path().filename().string();
+        if (it->is_directory() &&
+            (name.rfind("build", 0) == 0 || name[0] == '.')) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "plglint: no such file or directory: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: plglint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) lint_file(f, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

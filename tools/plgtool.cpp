@@ -182,7 +182,10 @@ int cmd_gen(int argc, char** argv) {
     g = pl_graph(n, f.alpha.value_or(2.5));
   } else if (model == "er") {
     g = erdos_renyi_gnm(
-        n, static_cast<std::size_t>(f.avg.value_or(4.0) * n / 2.0), rng);
+        n,
+        static_cast<std::size_t>(f.avg.value_or(4.0) *
+                                 static_cast<double>(n) / 2.0),
+        rng);
   } else if (model == "waxman") {
     g = waxman(n, 0.1, 0.3, rng);
   } else {
