@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -181,6 +182,59 @@ int main(int argc, char** argv) {
     if (wrong != 0) return 1;
   }
 
+  // Overload scenario: bounded queues + per-batch deadlines under more
+  // submitters than workers. Tracks how the service degrades — how much
+  // is shed or expired, and what p99 looks like for what IS answered —
+  // so the perf trajectory catches regressions in overload behavior,
+  // not just peak throughput.
+  std::uint64_t ov_ok = 0, ov_shed = 0, ov_deadline = 0;
+  std::uint64_t ov_p99_ns = 0;
+  const unsigned ov_threads = thread_counts.back();
+  {
+    QueryService svc(snapshot, {.threads = ov_threads,
+                                .chunk = 512,
+                                .queue_cap = 2,
+                                .shed_policy = ShedPolicy::kDropOldest});
+    const std::size_t ov_queries =
+        std::min<std::size_t>(queries.size(), 500000);
+    const unsigned submitters = ov_threads * 2;  // oversubscribe on purpose
+    std::vector<std::uint64_t> ok(submitters), shed(submitters),
+        expired(submitters);
+    std::vector<std::thread> threads;
+    for (unsigned s = 0; s < submitters; ++s) {
+      threads.emplace_back([&, s] {
+        for (std::size_t off = s * kBatch; off < ov_queries;
+             off += submitters * kBatch) {
+          const std::size_t len = std::min(kBatch, ov_queries - off);
+          const std::vector<QueryRequest> slice(
+              queries.begin() + static_cast<std::ptrdiff_t>(off),
+              queries.begin() + static_cast<std::ptrdiff_t>(off + len));
+          BatchOptions bopt;
+          bopt.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(20);
+          const auto results = svc.query_batch(slice, bopt);
+          for (const QueryResult& r : results) {
+            if (r.status == QueryStatus::kOk) ++ok[s];
+            if (r.status == QueryStatus::kOverloaded) ++shed[s];
+            if (r.status == QueryStatus::kDeadlineExceeded) ++expired[s];
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (unsigned s = 0; s < submitters; ++s) {
+      ov_ok += ok[s];
+      ov_shed += shed[s];
+      ov_deadline += expired[s];
+    }
+    ov_p99_ns = svc.stats().latency_quantile_ns(0.99);
+    std::printf("\n  overload (%u submitters, %u workers, cap=2, 20ms "
+                "deadline): ok=%" PRIu64 " shed=%" PRIu64 " deadline=%" PRIu64
+                " p99=%" PRIu64 "ns\n",
+                submitters, ov_threads, ov_ok, ov_shed, ov_deadline,
+                ov_p99_ns);
+  }
+
   // Machine-readable artifact for CI's perf trajectory.
   const char* out_path = "BENCH_service.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
@@ -199,7 +253,12 @@ int main(int argc, char** argv) {
                    i == 0 ? "" : ",", pt.threads, pt.seconds, pt.qps,
                    pt.speedup, pt.p50_ns, pt.p99_ns, pt.cache_hit_rate);
     }
-    std::fprintf(f, "]}\n");
+    std::fprintf(f,
+                 "],\"overload\":{\"workers\":%u,\"queue_cap\":2,"
+                 "\"shed_policy\":\"drop-oldest\",\"deadline_ms\":20,"
+                 "\"ok\":%" PRIu64 ",\"shed\":%" PRIu64
+                 ",\"deadline_exceeded\":%" PRIu64 ",\"p99_ns\":%" PRIu64 "}}\n",
+                 ov_threads, ov_ok, ov_shed, ov_deadline, ov_p99_ns);
     std::fclose(f);
     std::printf("  wrote %s\n", out_path);
   }

@@ -4,10 +4,13 @@
 #include <chrono>
 #include <latch>
 #include <stdexcept>
+#include <utility>
 
 #include "core/distance_scheme.h"
 #include "core/thin_fat.h"
 #include "util/errors.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
 
 namespace plg::service {
 
@@ -81,7 +84,7 @@ QueryService::QueryService(std::shared_ptr<const Snapshot> snapshot,
       store_((snapshot ? std::move(snapshot)
                        : throw std::invalid_argument(
                              "QueryService: null snapshot"))),
-      pool_(opt.threads),
+      pool_(PoolOptions{opt.threads, opt.queue_cap, opt.shed_policy}),
       metrics_(pool_.size()) {
   if (opt_.chunk == 0) opt_.chunk = 1;
   states_.reserve(pool_.size());
@@ -90,26 +93,75 @@ QueryService::QueryService(std::shared_ptr<const Snapshot> snapshot,
     ws->cache.resize(opt_.cache_entries);
     states_.push_back(std::move(ws));
   }
+  if (opt_.heal) {
+    // Poke once before the thread exists: the initial snapshot may have
+    // been admitted with quarantined shards (lenient chaos load), and
+    // the healer should pick those up without waiting for a corruption.
+    {
+      util::MutexLock lock(heal_mu_);
+      heal_poke_ = true;
+    }
+    healer_ = std::thread([this] { healer_main(); });
+  }
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  {
+    util::MutexLock lock(heal_mu_);
+    heal_stop_ = true;
+  }
+  heal_cv_.notify_all();
+  if (healer_.joinable()) healer_.join();
+}
 
 // plglint: noexcept-hot-path
 void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
-                             const QueryRequest* reqs, QueryResult* results,
-                             std::size_t count) {
+                             BatchControl& ctl, const QueryRequest* reqs,
+                             QueryResult* results, std::size_t count) {
   WorkerState& ws = *states_[worker];
   WorkerMetrics& m = metrics_.slot(worker);
   m.batches.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t n = snap.size();
 
+  // Chaos: a slow-worker fault stalls the whole chunk up front, which is
+  // what makes deadline checks and queue back-pressure observable.
+  const std::uint32_t stall = fault::next_chunk_stall();
+  if (stall != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+  }
+
   for (std::size_t i = 0; i < count; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
+    if (ctl.deadline &&
+        (ctl.cancelled.load(std::memory_order_relaxed) ||
+         t0 >= *ctl.deadline)) {
+      // Cooperative cancellation: this chunk (and, via the shared flag,
+      // every other chunk of the batch) stops answering; everything
+      // unanswered reports kDeadlineExceeded. Cancelled queries are not
+      // counted in m.queries — they were never served.
+      ctl.cancelled.store(true, std::memory_order_relaxed);
+      for (std::size_t j = i; j < count; ++j) {
+        results[j] = QueryResult{QueryStatus::kDeadlineExceeded, false, -1};
+      }
+      m.deadline_exceeded.fetch_add(count - i, std::memory_order_relaxed);
+      return;
+    }
     const QueryRequest& q = reqs[i];
     QueryResult r;
     if (q.u >= n || q.v >= n) {
       r.status = QueryStatus::kOutOfRange;
       m.range_errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (snap.vertex_quarantined(q.u) || snap.vertex_quarantined(q.v)) {
+      // The shard is already known-bad; answer in-band without touching
+      // its bits. The healer is already on it.
+      r.status = QueryStatus::kCorrupt;
+      m.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (fault::should_fail_query()) {
+      // Chaos: treat this fetch as a decode failure, exactly like the
+      // catch below — including the shard tally that drives demotion.
+      r.status = QueryStatus::kCorrupt;
+      m.corruptions.fetch_add(1, std::memory_order_relaxed);
+      note_shard_corruption(snap, q.u);
     } else {
       try {
         const Label* la =
@@ -133,9 +185,11 @@ void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
         }
       } catch (const DecodeError&) {
         // Corruption fallback: the query reports kCorrupt instead of the
-        // exception escaping onto the worker thread. Serving continues.
+        // exception escaping onto the worker thread. Serving continues,
+        // and the shard tally may demote the shard to quarantine.
         r.status = QueryStatus::kCorrupt;
         m.corruptions.fetch_add(1, std::memory_order_relaxed);
+        note_shard_corruption(snap, q.u);
       }
     }
     results[i] = r;
@@ -145,7 +199,7 @@ void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
 }
 
 std::vector<QueryResult> QueryService::query_batch(
-    const std::vector<QueryRequest>& batch) {
+    const std::vector<QueryRequest>& batch, const BatchOptions& bopt) {
   std::vector<QueryResult> results(batch.size());
   if (batch.empty()) return results;
 
@@ -156,19 +210,38 @@ std::vector<QueryResult> QueryService::query_batch(
   const std::size_t chunk = opt_.chunk;
   const std::size_t nchunks = (batch.size() + chunk - 1) / chunk;
   std::latch done(static_cast<std::ptrdiff_t>(nchunks));
+  BatchControl ctl;
+  ctl.deadline = bopt.deadline;
 
   for (std::size_t c = 0; c < nchunks; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t count = std::min(chunk, batch.size() - begin);
     const unsigned worker = static_cast<unsigned>(c % pool_.size());
     // The frame outlives every chunk (done.wait below), so jobs may
-    // capture the batch/result spans and the snapshot by reference.
-    pool_.submit(worker, [this, worker, &snap, &done,
-                          reqs = batch.data() + begin,
-                          res = results.data() + begin, count] {
-      run_chunk(worker, *snap, reqs, res, count);
+    // capture the batch/result spans, the control block, and the
+    // snapshot by reference. The pool runs exactly one of run/shed per
+    // chunk, so the latch always reaches zero — a shed chunk counts
+    // down through its fallback.
+    ThreadPool::Job job;
+    job.run = [this, worker, &snap, &ctl, &done,
+               reqs = batch.data() + begin, res = results.data() + begin,
+               count] {
+      run_chunk(worker, *snap, ctl, reqs, res, count);
       done.count_down();
-    });
+    };
+    job.shed = [this, &done, res = results.data() + begin, count] {
+      // Runs on whichever thread hit the full queue (this one under
+      // reject-new, a later submitter under drop-oldest) — never
+      // concurrently with job.run, so writing the result span is safe.
+      for (std::size_t i = 0; i < count; ++i) {
+        res[i] = QueryResult{QueryStatus::kOverloaded, false, -1};
+      }
+      SharedCounters& sc = metrics_.shared();
+      sc.shed_chunks.fetch_add(1, std::memory_order_relaxed);
+      sc.shed_queries.fetch_add(count, std::memory_order_relaxed);
+      done.count_down();
+    };
+    pool_.try_submit(worker, std::move(job));
   }
   done.wait();
   return results;
@@ -183,6 +256,103 @@ QueryResult QueryService::query(const QueryRequest& req) {
 void QueryService::reload(std::shared_ptr<const Snapshot> next) {
   if (!next) throw std::invalid_argument("QueryService::reload: null snapshot");
   store_.swap(std::move(next));
+  // The replacement may itself carry quarantined shards (a chaos reload
+  // or a lenient load); wake the healer to look.
+  {
+    util::MutexLock lock(heal_mu_);
+    heal_poke_ = true;
+  }
+  heal_cv_.notify_all();
+}
+
+void QueryService::drain() { pool_.drain(); }
+
+void QueryService::note_shard_corruption(const Snapshot& snap,
+                                         std::uint64_t v) {
+  if (opt_.quarantine_after == 0) return;
+  const std::size_t s = snap.shard_map().shard_of(v);
+  bool demote = false;
+  {
+    util::MutexLock lock(heal_mu_);
+    if (corrupt_snap_id_ != snap.id()) {
+      // New snapshot: old tallies describe retired bits. Start over.
+      corrupt_snap_id_ = snap.id();
+      shard_corruptions_.assign(snap.num_shards(), 0);
+    }
+    if (s >= shard_corruptions_.size()) return;
+    // == (not >=) so exactly one caller demotes per snapshot/shard even
+    // when several workers tally corruption concurrently.
+    if (++shard_corruptions_[s] == opt_.quarantine_after) demote = true;
+  }
+  if (!demote) return;
+  // Build the demoted snapshot outside heal_mu_ — it decodes a shard's
+  // worth of labels. swap_if: if an operator RELOAD replaced `snap`
+  // meanwhile, its corruption history is moot and the demotion is
+  // dropped rather than clobbering the fresh snapshot.
+  auto next = snap.with_quarantined_shard(
+      s, "query-time corruption reached quarantine threshold");
+  if (store_.swap_if(&snap, std::move(next))) {
+    util::MutexLock lock(heal_mu_);
+    heal_poke_ = true;
+  }
+  heal_cv_.notify_all();
+}
+
+bool QueryService::heal_once(std::uint64_t attempt) {
+  std::shared_ptr<const Snapshot> snap = store_.acquire();
+  bool all_clear = true;
+  for (std::size_t s = 0; s < snap->num_shards(); ++s) {
+    if (!snap->shard_quarantined(s) || !snap->shard_healable(s)) continue;
+    metrics_.shared().heal_attempts.fetch_add(1, std::memory_order_relaxed);
+    try {
+      std::shared_ptr<const Snapshot> healed = snap->heal_shard(s);
+      if (store_.swap_if(snap.get(), healed)) {
+        metrics_.shared().heal_successes.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        // Keep healing the successor: remaining quarantined shards were
+        // carried over by pointer.
+        snap = std::move(healed);
+      } else {
+        // Lost the swap race to a reload; whatever is current now is a
+        // different lineage. Back off and re-examine it next pass.
+        return false;
+      }
+    } catch (const DecodeError&) {
+      // Re-admission failed (e.g. the fault plan is still firing).
+      all_clear = false;
+    }
+  }
+  (void)attempt;
+  return all_clear;
+}
+
+void QueryService::healer_main() {
+  for (;;) {
+    {
+      util::MutexLock lock(heal_mu_);
+      while (!heal_stop_ && !heal_poke_) lock.wait(heal_cv_);
+      if (heal_stop_) return;
+      heal_poke_ = false;
+    }
+    // Retry with capped exponential backoff until every healable shard
+    // has been re-admitted. The jitter is a pure function of
+    // (heal_seed, attempt) via stream_rng, so a seeded chaos run
+    // produces the same heal schedule every time.
+    std::uint64_t attempt = 0;
+    while (!heal_once(attempt)) {
+      ++attempt;
+      const unsigned shift =
+          attempt < 16 ? static_cast<unsigned>(attempt) : 16u;
+      std::uint64_t delay_ms = std::uint64_t{opt_.heal_base_ms} << shift;
+      if (delay_ms > opt_.heal_max_ms) delay_ms = opt_.heal_max_ms;
+      Rng jitter_rng = stream_rng(opt_.heal_seed, attempt);
+      delay_ms += jitter_rng.next_below(delay_ms / 2 + 1);
+      util::MutexLock lock(heal_mu_);
+      if (heal_stop_) return;
+      lock.wait_for(heal_cv_, std::chrono::milliseconds(delay_ms));
+      if (heal_stop_) return;
+    }
+  }
 }
 
 ServiceStats QueryService::stats() const {
@@ -192,6 +362,7 @@ ServiceStats QueryService::stats() const {
   s.snapshot_labels = snap->size();
   s.snapshot_bytes = snap->total_bytes();
   s.snapshot_shards = snap->num_shards();
+  s.quarantined_shards = snap->num_quarantined();
   return s;
 }
 

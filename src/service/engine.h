@@ -13,20 +13,39 @@
 // answers the whole batch from it. A reload() mid-batch affects only
 // subsequent batches — callers never observe a half-swapped view.
 //
-// Failure model: queries never throw. An out-of-range id yields
-// kOutOfRange; a label that fails its spot checksum or whose decode
-// throws DecodeError yields kCorrupt and bumps the corruption-fallback
-// counter. The service keeps serving.
+// Failure model: queries never throw and callers never block
+// indefinitely. An out-of-range id yields kOutOfRange; a label that
+// fails its spot checksum or whose decode throws DecodeError yields
+// kCorrupt and bumps the corruption-fallback counter. Under overload
+// (bounded queues full) chunks are load-shed and their queries answer
+// kOverloaded — the batch still completes, because the pool guarantees a
+// shed chunk's fallback runs (and counts the latch down) in place of the
+// chunk itself. A batch past its deadline cancels cooperatively: workers
+// check the shared cancellation flag between queries, and everything
+// unanswered returns kDeadlineExceeded. Queries routed to a quarantined
+// shard answer kCorrupt in-band; repeated query-time corruption in one
+// shard (ServiceOptions::quarantine_after) demotes the shard, and a
+// background healer re-admits quarantined shards through the strict CRC
+// gate with capped exponential backoff (jitter from stream_rng, so heal
+// schedules are reproducible under a fixed seed). The service keeps
+// serving through all of it.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/label.h"
 #include "service/metrics.h"
 #include "service/snapshot.h"
 #include "service/thread_pool.h"
+#include "util/locks.h"
+#include "util/thread_annotations.h"
 
 namespace plg::service {
 
@@ -44,7 +63,9 @@ struct QueryRequest {
 enum class QueryStatus : std::uint8_t {
   kOk = 0,
   kOutOfRange,  ///< an endpoint id is outside the snapshot
-  kCorrupt,     ///< spot checksum failed or the label failed to decode
+  kCorrupt,     ///< checksum/decode failure, or the shard is quarantined
+  kOverloaded,  ///< chunk load-shed by admission control; retry later
+  kDeadlineExceeded,  ///< batch deadline expired before this query ran
 };
 
 struct QueryResult {
@@ -59,6 +80,29 @@ struct ServiceOptions {
   std::size_t cache_entries = 1024;  ///< per-worker decoded-label cache; 0 off
   bool spot_check = false;       ///< verify per-label checksum before decode
   QueryKind kind = QueryKind::kAdjacency;
+
+  // --- admission control (0 cap = unbounded, nothing ever shed) ---
+  std::size_t queue_cap = 0;     ///< per-worker queue bound, in chunks
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+
+  // --- quarantine & self-healing ---
+  /// Demote a shard to quarantine after this many query-time corruption
+  /// fallbacks against it on one snapshot. 0 disables demotion (storage
+  /// corruption then stays a per-query kCorrupt, the PR 1 behavior).
+  std::uint32_t quarantine_after = 0;
+  /// Run the background healer thread (re-admits quarantined shards).
+  bool heal = true;
+  std::uint32_t heal_base_ms = 1;    ///< first retry backoff
+  std::uint32_t heal_max_ms = 100;   ///< backoff cap
+  std::uint64_t heal_seed = 0x5eed;  ///< stream_rng seed for retry jitter
+};
+
+/// Per-batch execution options.
+struct BatchOptions {
+  /// Absolute deadline. Queries not answered by then return
+  /// kDeadlineExceeded; the batch call itself still returns promptly
+  /// (workers cancel cooperatively between queries). Unset = no limit.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 class QueryService {
@@ -70,10 +114,16 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Answers every request against one consistent snapshot. Blocks the
-  /// calling thread until the whole batch is done; safe to call from
-  /// multiple threads concurrently (batches interleave at chunk level).
+  /// calling thread until the whole batch is done (every result slot is
+  /// written — answered, shed, or cancelled); safe to call from multiple
+  /// threads concurrently (batches interleave at chunk level).
+  std::vector<QueryResult> query_batch(const std::vector<QueryRequest>& batch,
+                                       const BatchOptions& bopt);
+
   std::vector<QueryResult> query_batch(
-      const std::vector<QueryRequest>& batch);
+      const std::vector<QueryRequest>& batch) {
+    return query_batch(batch, BatchOptions{});
+  }
 
   /// Single-query convenience (a batch of one, bypassing the pool).
   QueryResult query(const QueryRequest& req);
@@ -81,6 +131,10 @@ class QueryService {
   /// Atomically installs a new snapshot; in-flight batches finish on the
   /// old one. Worker caches self-invalidate via snapshot identity tags.
   void reload(std::shared_ptr<const Snapshot> next);
+
+  /// Blocks until every worker queue is empty and every worker idle.
+  /// Callers must stop submitting batches first (graceful shutdown).
+  void drain();
 
   /// The snapshot new batches would use right now.
   std::shared_ptr<const Snapshot> snapshot() const { return store_.acquire(); }
@@ -95,15 +149,51 @@ class QueryService {
  private:
   struct WorkerState;
 
-  void run_chunk(unsigned worker, const Snapshot& snap,
+  /// Shared, caller-stack-owned control block for one batch. Workers
+  /// poll `cancelled` between queries; the submitting thread owns the
+  /// lifetime (the latch in query_batch outlives every chunk).
+  struct BatchControl {
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::atomic<bool> cancelled{false};
+  };
+
+  void run_chunk(unsigned worker, const Snapshot& snap, BatchControl& ctl,
                  const QueryRequest* reqs, QueryResult* results,
                  std::size_t count);
+
+  /// Cold path: records a query-time corruption against v's shard and,
+  /// past the quarantine_after threshold, demotes the shard and wakes
+  /// the healer. Deliberately NOT on the noexcept-hot-path — it takes
+  /// heal_mu_ and may build a snapshot — run_chunk calls it at most once
+  /// per corrupt query, which is already the slow lane.
+  void note_shard_corruption(const Snapshot& snap, std::uint64_t v)
+      PLG_EXCLUDES(heal_mu_);
+
+  /// Healer thread body: waits for quarantine work, re-admits shards
+  /// with capped exponential backoff + deterministic jitter.
+  void healer_main();
+
+  /// One heal pass over the current snapshot. Returns true when no
+  /// healable quarantined shard remains (the healer can sleep).
+  bool heal_once(std::uint64_t attempt);
 
   ServiceOptions opt_;
   SnapshotStore store_;
   ThreadPool pool_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<WorkerState>> states_;
+
+  // Healer state. The condvar pairs with heal_mu_; the thread is joined
+  // in the destructor before pool teardown.
+  util::Mutex heal_mu_;
+  std::condition_variable heal_cv_;
+  bool heal_stop_ PLG_GUARDED_BY(heal_mu_) = false;
+  bool heal_poke_ PLG_GUARDED_BY(heal_mu_) = false;
+  /// Snapshot id the corruption tallies below refer to; a new snapshot
+  /// resets them (old counts are about retired bits).
+  std::uint64_t corrupt_snap_id_ PLG_GUARDED_BY(heal_mu_) = 0;
+  std::vector<std::uint32_t> shard_corruptions_ PLG_GUARDED_BY(heal_mu_);
+  std::thread healer_;
 };
 
 }  // namespace plg::service

@@ -16,10 +16,18 @@ ServiceStats MetricsRegistry::aggregate() const {
     out.cache_misses += w.cache_misses.load(std::memory_order_relaxed);
     out.corruptions += w.corruptions.load(std::memory_order_relaxed);
     out.range_errors += w.range_errors.load(std::memory_order_relaxed);
+    out.deadline_exceeded +=
+        w.deadline_exceeded.load(std::memory_order_relaxed);
+    out.quarantine_hits += w.quarantine_hits.load(std::memory_order_relaxed);
     for (int b = 0; b < kLatencyBuckets; ++b) {
       out.latency_buckets[b] += w.latency.bucket(b);
     }
   }
+  out.shed_chunks = shared_.shed_chunks.load(std::memory_order_relaxed);
+  out.shed_queries = shared_.shed_queries.load(std::memory_order_relaxed);
+  out.heal_attempts = shared_.heal_attempts.load(std::memory_order_relaxed);
+  out.heal_successes =
+      shared_.heal_successes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -41,19 +49,24 @@ std::uint64_t ServiceStats::latency_quantile_ns(double q) const noexcept {
 }
 
 std::string ServiceStats::to_json() const {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"workers\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
       ",\"positive\":%" PRIu64 ",\"cache_hits\":%" PRIu64
       ",\"cache_misses\":%" PRIu64 ",\"corruptions\":%" PRIu64
-      ",\"range_errors\":%" PRIu64 ",\"snapshot\":{\"generation\":%" PRIu64
+      ",\"range_errors\":%" PRIu64 ",\"shed_chunks\":%" PRIu64
+      ",\"shed_queries\":%" PRIu64 ",\"deadline_exceeded\":%" PRIu64
+      ",\"quarantine_hits\":%" PRIu64 ",\"heal_attempts\":%" PRIu64
+      ",\"heal_successes\":%" PRIu64 ",\"snapshot\":{\"generation\":%" PRIu64
       ",\"labels\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"shards\":%" PRIu64
-      "},\"latency_ns\":{\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
-      ",\"p99\":%" PRIu64 "},\"latency_hist\":[",
+      ",\"quarantined\":%" PRIu64 "},\"latency_ns\":{\"p50\":%" PRIu64
+      ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 "},\"latency_hist\":[",
       workers, queries, batches, positive, cache_hits, cache_misses,
-      corruptions, range_errors, snapshot_generation, snapshot_labels,
-      snapshot_bytes, snapshot_shards, latency_quantile_ns(0.50),
+      corruptions, range_errors, shed_chunks, shed_queries,
+      deadline_exceeded, quarantine_hits, heal_attempts, heal_successes,
+      snapshot_generation, snapshot_labels, snapshot_bytes, snapshot_shards,
+      quarantined_shards, latency_quantile_ns(0.50),
       latency_quantile_ns(0.90), latency_quantile_ns(0.99));
   std::string json(buf);
   // Emit the histogram sparsely as [bucket_floor_ns, count] pairs; most of

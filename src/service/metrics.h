@@ -86,7 +86,25 @@ struct alignas(64) WorkerMetrics {
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> corruptions{0};    ///< spot-check failures
   std::atomic<std::uint64_t> range_errors{0};   ///< id out of snapshot
+  std::atomic<std::uint64_t> deadline_exceeded{0};  ///< queries cancelled
+  std::atomic<std::uint64_t> quarantine_hits{0};    ///< hit quarantined shard
   LatencyHistogram latency;                     ///< per-query latency (ns)
+};
+
+/// Cross-thread counters that have no owning worker. Shed callbacks run
+/// on whichever thread hit the full queue, and heal attempts run on the
+/// healer thread — so unlike WorkerMetrics these are *multi*-writer.
+/// Still lock-free and relaxed for the same reason as above: they are
+/// statistics with no invariant spanning two counters, and fetch_add is
+/// atomic regardless of how many writers contend. The cost model
+/// differs, though: these RMWs can bounce a cache line between cores,
+/// which is acceptable precisely because they count *exceptional* events
+/// (shedding, healing), never the per-query hot path.
+struct SharedCounters {
+  std::atomic<std::uint64_t> shed_chunks{0};     ///< chunks load-shed
+  std::atomic<std::uint64_t> shed_queries{0};    ///< queries in shed chunks
+  std::atomic<std::uint64_t> heal_attempts{0};   ///< shard heal tries
+  std::atomic<std::uint64_t> heal_successes{0};  ///< shards re-admitted
 };
 
 /// Plain-value aggregate of every worker slot at one instant.
@@ -99,6 +117,13 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t corruptions = 0;
   std::uint64_t range_errors = 0;
+  std::uint64_t shed_chunks = 0;
+  std::uint64_t shed_queries = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t quarantine_hits = 0;
+  std::uint64_t heal_attempts = 0;
+  std::uint64_t heal_successes = 0;
+  std::uint64_t quarantined_shards = 0;
   std::uint64_t snapshot_generation = 0;
   std::uint64_t snapshot_labels = 0;
   std::uint64_t snapshot_bytes = 0;
@@ -128,6 +153,10 @@ class MetricsRegistry {
     return static_cast<unsigned>(slots_.size());
   }
 
+  /// The multi-writer exceptional-event counters (see SharedCounters).
+  SharedCounters& shared() noexcept { return shared_; }
+  const SharedCounters& shared() const noexcept { return shared_; }
+
   /// Cold-path aggregation across all worker slots. Lock-free by the
   /// WorkerMetrics relaxed-atomic contract above: every load is an
   /// untorn relaxed atomic read, and the result is a point-in-time
@@ -137,6 +166,7 @@ class MetricsRegistry {
 
  private:
   std::vector<WorkerMetrics> slots_;
+  SharedCounters shared_;
 };
 
 }  // namespace plg::service

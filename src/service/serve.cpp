@@ -1,13 +1,42 @@
 #include "service/serve.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "util/errors.h"
+
 namespace plg::service {
 
 namespace {
+
+enum class ReadLine : std::uint8_t {
+  kOk,       ///< a complete line within the cap
+  kEof,      ///< stream exhausted (or failed) before any byte
+  kTooLong,  ///< line exceeded the cap; the remainder was discarded
+};
+
+/// getline with a hard length cap. An oversized line is consumed to its
+/// newline and reported kTooLong, so one hostile (or corrupted) input
+/// line can neither grow an unbounded buffer nor desynchronize the
+/// protocol framing.
+ReadLine bounded_getline(std::istream& in, std::string& line,
+                         std::size_t cap) {
+  line.clear();
+  char c = 0;
+  while (in.get(c)) {
+    if (c == '\n') return ReadLine::kOk;
+    if (line.size() >= cap) {
+      while (in.get(c) && c != '\n') {
+      }
+      return ReadLine::kTooLong;
+    }
+    line.push_back(c);
+  }
+  return line.empty() ? ReadLine::kEof : ReadLine::kOk;
+}
 
 /// Parses "<u> <v>" or "<verb> <u> <v>"; verb defaults to the service
 /// mode. Returns false (with a reason) on malformed input.
@@ -50,6 +79,12 @@ void write_result(std::ostream& out, QueryKind kind, const QueryResult& r) {
     case QueryStatus::kCorrupt:
       out << "corrupt\n";
       return;
+    case QueryStatus::kOverloaded:
+      out << "overloaded\n";
+      return;
+    case QueryStatus::kDeadlineExceeded:
+      out << "deadline\n";
+      return;
     case QueryStatus::kOk:
       break;
   }
@@ -62,36 +97,89 @@ void write_result(std::ostream& out, QueryKind kind, const QueryResult& r) {
   }
 }
 
+/// Per-batch options from the session deadline (0 = none).
+BatchOptions session_batch_options(std::uint64_t deadline_ms) {
+  BatchOptions bopt;
+  if (deadline_ms > 0) {
+    bopt.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+  }
+  return bopt;
+}
+
 }  // namespace
 
 std::uint64_t serve_loop(QueryService& svc, std::istream& in,
                          std::ostream& out, const ServeOptions& opt) {
   const QueryKind mode = svc.options().kind;
   std::uint64_t answered = 0;
+  std::uint64_t deadline_ms = 0;  // session deadline; 0 = none
+  bool quit = false;
   std::string line;
-  while (std::getline(in, line)) {
+  for (;;) {
+    if (opt.stop != nullptr && opt.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
+    const ReadLine rl = bounded_getline(in, line, opt.max_line);
+    if (rl == ReadLine::kEof) break;
+    if (rl == ReadLine::kTooLong) {
+      out << "err line too long\n";
+      out.flush();
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ss(line);
     std::string cmd;
     ss >> cmd;
 
-    if (cmd == "QUIT" || cmd == "quit") break;
+    if (cmd == "QUIT" || cmd == "quit") {
+      quit = true;
+      break;
+    }
 
     if (cmd == "PING" || cmd == "ping") {
       out << "pong\n";
     } else if (cmd == "STATS" || cmd == "stats") {
       out << svc.stats().to_json() << "\n";
+    } else if (cmd == "HEALTH" || cmd == "health") {
+      const ServiceStats st = svc.stats();
+      out << "{\"status\":\""
+          << (st.quarantined_shards == 0 ? "ok" : "degraded")
+          << "\",\"quarantined_shards\":" << st.quarantined_shards
+          << ",\"shards\":" << st.snapshot_shards
+          << ",\"generation\":" << st.snapshot_generation
+          << ",\"heal_attempts\":" << st.heal_attempts
+          << ",\"heal_successes\":" << st.heal_successes << "}\n";
+    } else if (cmd == "DEADLINE" || cmd == "deadline") {
+      std::uint64_t ms = 0;
+      if (!(ss >> ms)) {
+        out << "err expected: DEADLINE <ms>\n";
+        out.flush();
+        continue;
+      }
+      deadline_ms = ms;
+      out << "ok deadline_ms=" << deadline_ms << "\n";
     } else if (cmd == "RELOAD" || cmd == "reload") {
       std::string path;
       if (!(ss >> path)) {
         out << "err expected: RELOAD <path>\n";
+        out.flush();
         continue;
       }
       try {
-        auto next = Snapshot::from_file(path, opt.num_shards, opt.verify);
+        auto next = Snapshot::from_file(path, opt.num_shards, opt.verify,
+                                        /*allow_quarantine=*/opt.quarantine);
+        const std::size_t quarantined = next->num_quarantined();
         svc.reload(std::move(next));
         out << "reloaded " << path << " labels=" << svc.snapshot()->size()
-            << " generation=" << svc.generation() << "\n";
+            << " generation=" << svc.generation();
+        if (quarantined > 0) out << " quarantined=" << quarantined;
+        out << "\n";
+      } catch (const CorruptionError& e) {
+        // Point at the corruption: the failing section and offset let an
+        // operator check the right part of the file before retrying.
+        out << "err reload failed: corrupt section '" << e.section()
+            << "' at byte " << e.byte_offset() << "\n";
       } catch (const std::exception& e) {
         // The old snapshot keeps serving — a failed reload is an error
         // reply, not an outage.
@@ -101,6 +189,7 @@ std::uint64_t serve_loop(QueryService& svc, std::istream& in,
       std::size_t n = 0;
       if (!(ss >> n)) {
         out << "err expected: BATCH <n>\n";
+        out.flush();
         continue;
       }
       std::vector<QueryRequest> reqs;
@@ -109,8 +198,14 @@ std::uint64_t serve_loop(QueryService& svc, std::istream& in,
       kinds.reserve(n);
       bool bad = false;
       for (std::size_t i = 0; i < n && !bad; ++i) {
-        if (!std::getline(in, line)) {
+        const ReadLine brl = bounded_getline(in, line, opt.max_line);
+        if (brl == ReadLine::kEof) {
           out << "err batch truncated at line " << i << "\n";
+          bad = true;
+          break;
+        }
+        if (brl == ReadLine::kTooLong) {
+          out << "err batch line " << i << ": line too long\n";
           bad = true;
           break;
         }
@@ -131,8 +226,12 @@ std::uint64_t serve_loop(QueryService& svc, std::istream& in,
         reqs.push_back(req);
         kinds.push_back(kind);
       }
-      if (bad) continue;
-      const auto results = svc.query_batch(reqs);
+      if (bad) {
+        out.flush();
+        continue;
+      }
+      const auto results =
+          svc.query_batch(reqs, session_batch_options(deadline_ms));
       for (std::size_t i = 0; i < results.size(); ++i) {
         write_result(out, kinds[i], results[i]);
       }
@@ -143,17 +242,30 @@ std::uint64_t serve_loop(QueryService& svc, std::istream& in,
       std::string reason;
       if (!parse_query(line, mode, req, kind, reason)) {
         out << "err " << reason << "\n";
+        out.flush();
         continue;
       }
       if (kind != mode) {
         out << "err query kind does not match the served labels ("
             << (mode == QueryKind::kAdjacency ? "adjacency" : "distance")
             << " store)\n";
+        out.flush();
         continue;
       }
-      write_result(out, kind, svc.query(req));
+      const auto results =
+          svc.query_batch({req}, session_batch_options(deadline_ms));
+      write_result(out, kind, results.front());
       ++answered;
     }
+    out.flush();
+  }
+  if (!quit) {
+    // EOF / signal shutdown: finish what was admitted, then leave one
+    // machine-readable summary line. QUIT skips this — an interactive
+    // session asked for silence, and the existing protocol tests pin
+    // the exact reply sequence.
+    svc.drain();
+    out << svc.stats().to_json() << "\n";
     out.flush();
   }
   return answered;

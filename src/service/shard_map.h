@@ -57,6 +57,12 @@ class ShardMap {
     return e < n_ ? e : n_;
   }
 
+  /// Number of vertex ids in shard s (the heal path sizes its label
+  /// buffer from this).
+  std::uint64_t shard_size(std::size_t s) const noexcept {
+    return shard_end(s) - shard_begin(s);
+  }
+
  private:
   std::uint64_t n_ = 0;
   std::size_t shards_ = 1;

@@ -2,18 +2,12 @@
 
 #include <utility>
 
+#include "util/errors.h"
+#include "util/fault_injection.h"
+
 namespace plg::service {
 
 namespace {
-
-/// Round-trips one shard's labels through the checksummed v2 codec. The
-/// strict re-parse is the admission check: a snapshot shard is either
-/// CRC-clean or construction throws CorruptionError.
-LabelStore make_shard(std::vector<Label> labels, std::uint64_t& bytes) {
-  auto blob = LabelStore::serialize(Labeling(std::move(labels)));
-  bytes += blob.size();
-  return LabelStore::parse(std::move(blob), StoreVerify::kStrict);
-}
 
 std::atomic<std::uint64_t> next_snapshot_id{1};
 
@@ -22,8 +16,50 @@ std::atomic<std::uint64_t> next_snapshot_id{1};
 Snapshot::Snapshot()
     : id_(next_snapshot_id.fetch_add(1, std::memory_order_relaxed)) {}
 
+Snapshot::Shard Snapshot::admit(std::vector<Label> labels,
+                                bool allow_quarantine) {
+  // Round-trips the labels through the checksummed v2 codec. The strict
+  // re-parse is the admission check: a shard is either CRC-clean or this
+  // throws / quarantines. The Labeling stays alive past the parse so a
+  // failed admission can keep its labels as the heal source.
+  Labeling part(std::move(labels));
+  auto blob = LabelStore::serialize(part);
+  Shard shard;
+  shard.bytes = blob.size();
+  // Chaos injection point: the plan may flip one bit of the fresh blob
+  // here, between serialize and the strict re-parse, modeling memory or
+  // bus corruption during a reload.
+  fault::on_shard_admission(blob);
+  try {
+    shard.store = std::make_shared<const LabelStore>(
+        LabelStore::parse(std::move(blob), StoreVerify::kStrict));
+  } catch (const DecodeError& e) {
+    if (!allow_quarantine) throw;
+    shard.store = nullptr;
+    shard.bytes = 0;
+    shard.error = e.what();
+    shard.heal_labels =
+        std::make_shared<const std::vector<Label>>(part.labels());
+  }
+  return shard;
+}
+
+std::shared_ptr<Snapshot> Snapshot::clone_shards() const {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->map_ = map_;
+  snap->shards_ = shards_;  // shared_ptr copies; no label data moves
+  snap->total_bytes_ = total_bytes_;
+  return snap;
+}
+
+void Snapshot::recompute_total_bytes() noexcept {
+  total_bytes_ = 0;
+  for (const Shard& sh : shards_) total_bytes_ += sh.bytes;
+}
+
 std::shared_ptr<const Snapshot> Snapshot::build(const Labeling& labeling,
-                                                std::size_t num_shards) {
+                                                std::size_t num_shards,
+                                                bool allow_quarantine) {
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
   snap->map_ = ShardMap(labeling.size(), num_shards);
   snap->shards_.reserve(snap->map_.num_shards());
@@ -35,14 +71,16 @@ std::shared_ptr<const Snapshot> Snapshot::build(const Labeling& labeling,
     for (std::uint64_t v = begin; v < end; ++v) {
       part.push_back(labeling[static_cast<Vertex>(v)]);
     }
-    snap->shards_.push_back(make_shard(std::move(part), snap->total_bytes_));
+    snap->shards_.push_back(admit(std::move(part), allow_quarantine));
   }
+  snap->recompute_total_bytes();
   return snap;
 }
 
 std::shared_ptr<const Snapshot> Snapshot::from_file(const std::string& path,
                                                     std::size_t num_shards,
-                                                    StoreVerify verify) {
+                                                    StoreVerify verify,
+                                                    bool allow_quarantine) {
   const LabelStore whole = LabelStore::open_file(path, verify);
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
   snap->map_ = ShardMap(whole.size(), num_shards);
@@ -55,8 +93,47 @@ std::shared_ptr<const Snapshot> Snapshot::from_file(const std::string& path,
     for (std::uint64_t v = begin; v < end; ++v) {
       part.push_back(whole.get(static_cast<std::size_t>(v)));
     }
-    snap->shards_.push_back(make_shard(std::move(part), snap->total_bytes_));
+    snap->shards_.push_back(admit(std::move(part), allow_quarantine));
   }
+  snap->recompute_total_bytes();
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::heal_shard(std::size_t s) const {
+  auto snap = clone_shards();
+  // Copy the heal source: a failed re-admission must leave the original
+  // snapshot's heal_labels intact for the next attempt.
+  std::vector<Label> labels(*shards_[s].heal_labels);
+  snap->shards_[s] = admit(std::move(labels), /*allow_quarantine=*/false);
+  snap->recompute_total_bytes();
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::with_quarantined_shard(
+    std::size_t s, std::string reason) const {
+  auto snap = clone_shards();
+  Shard& sh = snap->shards_[s];
+  if (sh.store != nullptr) {
+    // Extract a heal source from the store being demoted. The store's
+    // bits are suspect (that is why it is being quarantined), so any
+    // label that no longer decodes makes the shard unhealable rather
+    // than propagating the throw.
+    std::vector<Label> labels;
+    labels.reserve(sh.store->size());
+    try {
+      for (std::size_t i = 0; i < sh.store->size(); ++i) {
+        labels.push_back(sh.store->get(i));
+      }
+      sh.heal_labels =
+          std::make_shared<const std::vector<Label>>(std::move(labels));
+    } catch (const DecodeError&) {
+      sh.heal_labels = nullptr;
+    }
+    sh.store = nullptr;
+    sh.bytes = 0;
+  }
+  sh.error = std::move(reason);
+  snap->recompute_total_bytes();
   return snap;
 }
 

@@ -25,6 +25,19 @@
 // answers mid-flight: a batch is answered entirely from the snapshot it
 // started on.
 //
+// Quarantine (fault isolation at shard granularity): with
+// allow_quarantine, a shard that fails its strict admission re-parse is
+// admitted in a *quarantined* state — no LabelStore, queries against its
+// vertex range answer kCorrupt in-band — instead of failing the whole
+// build. A quarantined shard retains its pre-serialization labels as the
+// heal source; heal_shard() produces a successor snapshot (healthy
+// shards shared by pointer, no re-encode) in which the shard has been
+// re-admitted through the same strict gate. with_quarantined_shard()
+// goes the other way: it demotes a shard whose bits turned out to be bad
+// at query time. Both return *new* snapshots with new ids — worker
+// caches tag by snapshot id, so healing naturally invalidates any stale
+// decoded labels.
+//
 // Why a shared_mutex and not std::atomic<std::shared_ptr>? libstdc++'s
 // _Sp_atomic (GCC 12) releases its internal spinlock in load() with a
 // *relaxed* RMW, so a reader's critical section does not synchronize-with
@@ -54,45 +67,101 @@ class Snapshot {
  public:
   /// Builds a snapshot from an in-memory labeling. Each shard is
   /// serialized to the checksummed v2 format and re-parsed strictly, so
-  /// the snapshot's bits carry CRC protection end to end.
+  /// the snapshot's bits carry CRC protection end to end. With
+  /// `allow_quarantine`, a shard failing that re-parse is quarantined
+  /// (served kCorrupt, healable) instead of aborting the build; without
+  /// it the failure propagates as CorruptionError.
   static std::shared_ptr<const Snapshot> build(const Labeling& labeling,
-                                               std::size_t num_shards);
+                                               std::size_t num_shards,
+                                               bool allow_quarantine = false);
 
   /// Loads a .plgl file and shards it. `verify` is forwarded to the file
   /// parse; shard re-encode is always strict (a lenient *file* load can
-  /// still surface corruption later via per-label spot checks).
+  /// still surface corruption later via per-label spot checks). A file
+  /// that fails its own parse always throws — quarantine applies to
+  /// per-shard admission only, never to an unreadable source.
   static std::shared_ptr<const Snapshot> from_file(
       const std::string& path, std::size_t num_shards,
-      StoreVerify verify = StoreVerify::kStrict);
+      StoreVerify verify = StoreVerify::kStrict,
+      bool allow_quarantine = false);
 
   const ShardMap& shard_map() const noexcept { return map_; }
   std::uint64_t size() const noexcept { return map_.num_vertices(); }
   std::size_t num_shards() const noexcept { return shards_.size(); }
 
   /// Materializes the label of vertex v. Thread-safe: LabelStore::get is
-  /// const and reads only immutable words. Precondition: v < size().
+  /// const and reads only immutable words. Precondition: v < size() and
+  /// !vertex_quarantined(v).
   Label get(std::uint64_t v) const {
     const std::size_t s = map_.shard_of(v);
-    return shards_[s].get(static_cast<std::size_t>(map_.index_in_shard(v)));
+    return shards_[s].store->get(
+        static_cast<std::size_t>(map_.index_in_shard(v)));
   }
 
-  /// Size in bits of label v without materializing it.
+  /// Size in bits of label v without materializing it. Precondition as
+  /// for get().
   std::size_t label_bits(std::uint64_t v) const {
     const std::size_t s = map_.shard_of(v);
-    return shards_[s].size_bits(
+    return shards_[s].store->size_bits(
         static_cast<std::size_t>(map_.index_in_shard(v)));
   }
 
   /// Re-derives v's stored spot checksum. False means the shard's bits
   /// rotted *after* admission (or the encoder lied); the engine counts
-  /// these as corruption fallbacks.
+  /// these as corruption fallbacks. Precondition as for get().
   bool verify_label(std::uint64_t v) const {
     const std::size_t s = map_.shard_of(v);
-    return shards_[s].verify_label(
+    return shards_[s].store->verify_label(
         static_cast<std::size_t>(map_.index_in_shard(v)));
   }
 
-  /// Total serialized bytes across shards (observability).
+  /// True when shard s was quarantined (admission failed, or the shard
+  /// was demoted at query time). Queries routed to it answer kCorrupt.
+  bool shard_quarantined(std::size_t s) const noexcept {
+    return shards_[s].store == nullptr;
+  }
+
+  /// True when v's shard is quarantined.
+  bool vertex_quarantined(std::uint64_t v) const noexcept {
+    return shard_quarantined(map_.shard_of(v));
+  }
+
+  /// Number of quarantined shards (0 on a fully healthy snapshot).
+  std::size_t num_quarantined() const noexcept {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.store == nullptr ? 1 : 0;
+    return n;
+  }
+
+  /// True when quarantined shard s retains a heal source (labels kept
+  /// from before serialization / extracted before demotion) and a
+  /// heal_shard() attempt is possible.
+  bool shard_healable(std::size_t s) const noexcept {
+    return shards_[s].store == nullptr && shards_[s].heal_labels != nullptr;
+  }
+
+  /// Why shard s is quarantined (empty for healthy shards).
+  const std::string& shard_error(std::size_t s) const noexcept {
+    return shards_[s].error;
+  }
+
+  /// Builds a successor snapshot in which quarantined shard s has been
+  /// re-admitted through the strict CRC gate from its retained labels.
+  /// Healthy shards are shared by pointer (no re-encode, no copy); the
+  /// successor gets a fresh id so worker caches self-invalidate.
+  /// Precondition: shard_healable(s). Throws CorruptionError when the
+  /// re-admission fails again (e.g. a fault plan is still firing) — the
+  /// caller backs off and retries.
+  std::shared_ptr<const Snapshot> heal_shard(std::size_t s) const;
+
+  /// Builds a successor snapshot in which shard s is quarantined with
+  /// `reason`. The shard's labels are extracted from its current store
+  /// as the heal source where possible (a shard too rotten to decode
+  /// becomes unhealable). Healthy shards are shared by pointer.
+  std::shared_ptr<const Snapshot> with_quarantined_shard(
+      std::size_t s, std::string reason) const;
+
+  /// Total serialized bytes across healthy shards (observability).
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
 
   /// Process-unique identity, assigned at construction from a monotonic
@@ -102,9 +171,31 @@ class Snapshot {
   std::uint64_t id() const noexcept { return id_; }
 
  private:
+  /// One shard slot. store == nullptr marks quarantine; heal_labels is
+  /// the (possibly absent) heal source, populated only on quarantine so
+  /// healthy snapshots carry no label copies.
+  struct Shard {
+    std::shared_ptr<const LabelStore> store;
+    std::shared_ptr<const std::vector<Label>> heal_labels;
+    std::string error;
+    std::uint64_t bytes = 0;
+  };
+
   Snapshot();
+
+  /// Serialize + strict re-parse, the single admission gate (and the
+  /// chaos harness's shard-corruption injection point). Throws
+  /// CorruptionError on failure unless allow_quarantine, in which case
+  /// the returned Shard is quarantined with `labels` as heal source.
+  static Shard admit(std::vector<Label> labels, bool allow_quarantine);
+
+  /// Clone sharing every shard slot (shared_ptr copies), fresh id.
+  std::shared_ptr<Snapshot> clone_shards() const;
+
+  void recompute_total_bytes() noexcept;
+
   ShardMap map_;
-  std::vector<LabelStore> shards_;
+  std::vector<Shard> shards_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t id_ = 0;
 };
@@ -138,6 +229,23 @@ class SnapshotStore {
       current_.swap(next);
     }
     generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Compare-and-swap for self-healing: installs `next` only when the
+  /// current snapshot is still `expected` (by pointer identity). False
+  /// means a concurrent swap() won — e.g. an operator RELOAD landed
+  /// while the healer was rebuilding — and `next` is discarded; the
+  /// healer re-examines the new current snapshot instead of clobbering
+  /// it with a successor of a retired one.
+  bool swap_if(const Snapshot* expected,
+               std::shared_ptr<const Snapshot> next) PLG_EXCLUDES(mu_) {
+    {
+      util::ExclusiveLock lk(mu_);
+      if (current_.get() != expected) return false;
+      current_.swap(next);
+    }
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    return true;  // old snapshot (in `next` now) released outside the lock
   }
 
   /// Number of swaps performed (generation 0 = the initial snapshot).

@@ -5,7 +5,9 @@
 
 namespace plg::service {
 
-ThreadPool::ThreadPool(unsigned workers) {
+ThreadPool::ThreadPool(const PoolOptions& opt)
+    : queue_cap_(opt.queue_cap), shed_policy_(opt.shed_policy) {
+  unsigned workers = opt.workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
@@ -28,7 +30,7 @@ ThreadPool::~ThreadPool() {
       util::MutexLock lock(w->mu);
       w->stop = true;
     }
-    w->cv.notify_one();
+    w->cv.notify_all();
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -42,14 +44,55 @@ void ThreadPool::submit(unsigned worker, std::function<void()> job) {
     if (w.stop) {
       throw std::logic_error("ThreadPool::submit after shutdown");
     }
-    w.queue.push_back(std::move(job));
+    w.queue.push_back(Job{std::move(job), {}});
   }
-  w.cv.notify_one();
+  w.cv.notify_all();
+}
+
+bool ThreadPool::try_submit(unsigned worker, Job job) {
+  Worker& w = *workers_[worker % workers_.size()];
+  // A displaced job's shed callback runs outside the lock: shed handlers
+  // touch caller state (results arrays, latches, metrics), and holding a
+  // worker mutex across arbitrary user code invites lock-order cycles.
+  std::function<void()> displaced_shed;
+  bool admitted = true;
+  {
+    util::MutexLock lock(w.mu);
+    if (w.stop) {
+      throw std::logic_error("ThreadPool::try_submit after shutdown");
+    }
+    if (queue_cap_ > 0 && w.queue.size() >= queue_cap_) {
+      if (shed_policy_ == ShedPolicy::kRejectNew) {
+        admitted = false;
+      } else {
+        displaced_shed = std::move(w.queue.front().shed);
+        w.queue.pop_front();
+        w.queue.push_back(std::move(job));
+      }
+    } else {
+      w.queue.push_back(std::move(job));
+    }
+  }
+  if (admitted) w.cv.notify_all();
+  if (!admitted) {
+    if (job.shed) job.shed();
+    return false;
+  }
+  if (displaced_shed) displaced_shed();
+  return true;
+}
+
+void ThreadPool::drain() {
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    util::MutexLock lock(w.mu);
+    while (!(w.queue.empty() && !w.busy) && !w.stop) lock.wait(w.cv);
+  }
 }
 
 void ThreadPool::run(Worker& w) {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       util::MutexLock lock(w.mu);
       // Explicit predicate loop instead of cv.wait(lock, pred): the
@@ -57,11 +100,26 @@ void ThreadPool::run(Worker& w) {
       // lambda, so guarded reads of w.stop / w.queue must be spelled in
       // this scope, where it can see MutexLock holding w.mu.
       while (!w.stop && w.queue.empty()) lock.wait(w.cv);
-      if (w.queue.empty()) return;  // stop requested and queue drained
+      if (w.queue.empty()) {
+        // stop requested and queue drained; wake any drain() waiter so
+        // it observes w.stop rather than blocking forever.
+        w.cv.notify_all();
+        return;
+      }
       job = std::move(w.queue.front());
       w.queue.pop_front();
+      w.busy = true;
     }
-    job();
+    if (job.run) job.run();
+    bool idle = false;
+    {
+      util::MutexLock lock(w.mu);
+      w.busy = false;
+      idle = w.queue.empty();
+    }
+    // Single condvar serves both roles: submitters notify workers, and
+    // workers notify drain() when they go idle with an empty queue.
+    if (idle) w.cv.notify_all();
   }
 }
 

@@ -23,6 +23,29 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 std::atomic<bool> g_enabled{false};
 FaultPlan g_plan;
 
+// Service-fault bookkeeping. The *_calls counters decide which calls
+// inject (every k-th), g_service_budget_used enforces the shared budget,
+// and the g_injected_* counters feed service_fault_counters(). All
+// relaxed: they are statistics plus a monotonic budget check, never a
+// synchronization edge.
+std::atomic<std::uint64_t> g_stall_calls{0};
+std::atomic<std::uint64_t> g_shard_calls{0};
+std::atomic<std::uint64_t> g_query_calls{0};
+std::atomic<std::uint64_t> g_budget_used{0};
+std::atomic<std::uint64_t> g_injected_stalls{0};
+std::atomic<std::uint64_t> g_injected_shard_fails{0};
+std::atomic<std::uint64_t> g_injected_query_fails{0};
+
+/// Claims one unit of the plan's shared fault budget. True = the fault
+/// may fire. With no budget configured every claim succeeds.
+bool claim_budget() noexcept {
+  if (!g_plan.fault_budget) return true;
+  // fetch_add then compare: over-claims past the cap stay declined, and
+  // the counter being monotonic keeps the total deterministic.
+  return g_budget_used.fetch_add(1, std::memory_order_relaxed) <
+         *g_plan.fault_budget;
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::parse_spec(const std::string& spec) {
@@ -59,6 +82,16 @@ FaultPlan FaultPlan::parse_spec(const std::string& spec) {
       plan.write_fail_after = v;
     } else if (key == "alloc-cap") {
       plan.alloc_cap = v;
+    } else if (key == "stall-every") {
+      plan.stall_every = v;
+    } else if (key == "stall-ms") {
+      plan.stall_ms = static_cast<std::uint32_t>(v);
+    } else if (key == "shard-fail") {
+      plan.shard_fail_every = v;
+    } else if (key == "query-fail") {
+      plan.query_fail_every = v;
+    } else if (key == "budget") {
+      plan.fault_budget = v;
     } else {
       throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
     }
@@ -68,6 +101,13 @@ FaultPlan FaultPlan::parse_spec(const std::string& spec) {
 
 void enable(const FaultPlan& plan) {
   g_plan = plan;
+  g_stall_calls.store(0, std::memory_order_relaxed);
+  g_shard_calls.store(0, std::memory_order_relaxed);
+  g_query_calls.store(0, std::memory_order_relaxed);
+  g_budget_used.store(0, std::memory_order_relaxed);
+  g_injected_stalls.store(0, std::memory_order_relaxed);
+  g_injected_shard_fails.store(0, std::memory_order_relaxed);
+  g_injected_query_fails.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_release);
 }
 
@@ -108,6 +148,48 @@ void check_untrusted_alloc(std::uint64_t bytes, const char* what) {
                       " bytes, over the injected allocation cap of " +
                       std::to_string(*g_plan.alloc_cap));
   }
+}
+
+std::uint32_t next_chunk_stall() noexcept {
+  if (!enabled() || g_plan.stall_every == 0) return 0;
+  const std::uint64_t n = g_stall_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.stall_every != 0) return 0;
+  if (!claim_budget()) return 0;
+  g_injected_stalls.fetch_add(1, std::memory_order_relaxed);
+  return g_plan.stall_ms;
+}
+
+bool on_shard_admission(std::vector<std::uint8_t>& blob) noexcept {
+  if (!enabled() || g_plan.shard_fail_every == 0 || blob.empty()) return false;
+  const std::uint64_t n = g_shard_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.shard_fail_every != 0) return false;
+  if (!claim_budget()) return false;
+  // One bit flip is enough: CRC-32C detects all 1-bit errors, so the
+  // strict re-parse is guaranteed to reject the shard. The position is a
+  // pure function of (seed, injection ordinal) — deterministic damage.
+  const std::uint64_t ordinal =
+      g_injected_shard_fails.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t state = g_plan.seed ^ (ordinal * 0x9E3779B97F4A7C15ull);
+  const std::uint64_t bit = splitmix64(state) % (blob.size() * 8);
+  blob[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
+}
+
+bool should_fail_query() noexcept {
+  if (!enabled() || g_plan.query_fail_every == 0) return false;
+  const std::uint64_t n = g_query_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.query_fail_every != 0) return false;
+  if (!claim_budget()) return false;
+  g_injected_query_fails.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ServiceFaultCounters service_fault_counters() noexcept {
+  ServiceFaultCounters c;
+  c.stalls = g_injected_stalls.load(std::memory_order_relaxed);
+  c.shard_fails = g_injected_shard_fails.load(std::memory_order_relaxed);
+  c.query_fails = g_injected_query_fails.load(std::memory_order_relaxed);
+  return c;
 }
 
 // ---------------------------------------------------------------------------

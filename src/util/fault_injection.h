@@ -22,6 +22,14 @@
 //     allocation whose size is controlled by untrusted input; under an
 //     active alloc cap it throws DecodeError instead of letting a corrupt
 //     header drive a multi-GB allocation.
+//   * Service-level faults (the service chaos harness) — the same plan
+//     can stall workers (slow-worker fault), fail snapshot shard
+//     admission (mid-reload corruption), and fail individual label
+//     fetches at query time. Each hook draws from a process-global
+//     atomic counter, so the *number* of injected faults is
+//     deterministic for a given plan and call count even though thread
+//     scheduling decides which worker absorbs each one;
+//     service_fault_counters() exposes the totals for test assertions.
 #pragma once
 
 #include <cstdint>
@@ -58,17 +66,64 @@ struct FaultPlan {
   /// Deserializers consult this through check_untrusted_alloc().
   std::optional<std::uint64_t> alloc_cap;
 
+  // --- service-level faults (chunk execution, shard admission, query) ---
+
+  /// When k > 0, every k-th chunk execution stalls for stall_ms
+  /// milliseconds before answering (slow-worker fault; exercises
+  /// deadlines and queue back-pressure).
+  std::uint64_t stall_every = 0;
+
+  /// Duration of an injected worker stall.
+  std::uint32_t stall_ms = 1;
+
+  /// When k > 0, every k-th snapshot shard admission has one bit of its
+  /// freshly serialized blob flipped, so the strict CRC re-parse fails
+  /// (mid-reload corruption; exercises shard quarantine).
+  std::uint64_t shard_fail_every = 0;
+
+  /// When k > 0, every k-th label fetch in the query engine is treated
+  /// as a decode failure and answered kCorrupt (query-time corruption;
+  /// exercises the runtime quarantine threshold).
+  std::uint64_t query_fail_every = 0;
+
+  /// Total cap on injected *service* faults (stalls + shard fails +
+  /// query fails). Unset = unlimited. A finite budget lets a chaos test
+  /// storm deterministically and then watch the system heal without
+  /// reconfiguring the plan mid-run.
+  std::optional<std::uint64_t> fault_budget;
+
   /// Parses a "key=value,key=value" spec, e.g.
   ///   "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,alloc-cap=1048576"
+  ///   ",stall-every=5,stall-ms=2,shard-fail=3,query-fail=7,budget=200"
   /// Unknown keys or malformed values throw std::invalid_argument.
   static FaultPlan parse_spec(const std::string& spec);
 };
 
-// ---------------------------------------------------------------------------
-// Process-global failpoint. Not thread-safe to reconfigure concurrently
-// with I/O, but reading the disabled fast path is safe from any thread.
+/// Totals of service-level faults injected since the last enable().
+struct ServiceFaultCounters {
+  std::uint64_t stalls = 0;
+  std::uint64_t shard_fails = 0;
+  std::uint64_t query_fails = 0;
+  std::uint64_t total() const noexcept {
+    return stalls + shard_fails + query_fails;
+  }
+};
 
-/// Installs `plan` as the active global fault plan.
+// ---------------------------------------------------------------------------
+// Process-global failpoint.
+//
+// Concurrency contract: the plan's fields are written only while the
+// failpoint is disabled (enable() writes them *before* its release-store
+// of the enabled flag), and hooks read them only after an acquire-load
+// observes the flag set — so a single enable() is race-free against any
+// number of concurrently running hooks, and disable() (which touches only
+// the flag) may be called at any time. Re-enabling with a *new* plan
+// while hook-calling threads are still running is the one unsupported
+// pattern; chaos tests instead give the first plan a fault_budget and let
+// it exhaust.
+
+/// Installs `plan` as the active global fault plan and zeroes the
+/// service-fault counters.
 void enable(const FaultPlan& plan);
 
 /// Removes the active plan; all hooks become no-ops again.
@@ -109,6 +164,27 @@ bool should_fail_write(std::uint64_t bytes_written) noexcept;
 /// (message names `what` and the requested size) when an active alloc cap
 /// is exceeded; otherwise returns. Costs one atomic load when disabled.
 void check_untrusted_alloc(std::uint64_t bytes, const char* what);
+
+// ---------------------------------------------------------------------------
+// Service-level fault hooks. All no-ops (one relaxed atomic load) unless
+// enabled(); all draw on the shared fault budget.
+
+/// Called by the engine at the start of each chunk. Returns the stall
+/// duration in milliseconds (0 = run at full speed); the caller sleeps.
+std::uint32_t next_chunk_stall() noexcept;
+
+/// Called by snapshot shard admission between serialize and the strict
+/// re-parse. When the plan says this admission fails, flips one
+/// seed-determined bit of `blob` (so the CRC check rejects it) and
+/// returns true.
+bool on_shard_admission(std::vector<std::uint8_t>& blob) noexcept;
+
+/// Called by the engine before fetching a label. True means the fetch
+/// must be treated as a decode failure (answered kCorrupt in-band).
+bool should_fail_query() noexcept;
+
+/// Totals injected since the last enable(). Safe to call any time.
+ServiceFaultCounters service_fault_counters() noexcept;
 
 // ---------------------------------------------------------------------------
 // Stream wrappers (explicit-plan; usable without the global failpoint).

@@ -15,6 +15,7 @@
 // by is either dead weight or an undeclared contract.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -76,6 +77,14 @@ class PLG_SCOPED_CAPABILITY MutexLock {
   /// release/acquire annotation is needed — the same convention as
   /// absl::CondVar::Wait.
   void wait(std::condition_variable& cv) { cv.wait(lk_); }
+
+  /// wait() with a relative timeout. Returns false when the wait timed
+  /// out, true when the condvar was notified (spurious wakeups included —
+  /// callers re-check their predicate either way). Same capability
+  /// convention as wait().
+  bool wait_for(std::condition_variable& cv, std::chrono::milliseconds d) {
+    return cv.wait_for(lk_, d) == std::cv_status::no_timeout;
+  }
 
  private:
   std::unique_lock<std::mutex> lk_;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <sstream>
 
 #include "core/label_store.h"
@@ -54,6 +55,24 @@ TEST(FaultPlanSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse_spec("flips"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse_spec("bogus=1"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse_spec("flips=xyz"), std::invalid_argument);
+}
+
+TEST(FaultPlanSpec, ParsesServiceKeys) {
+  const FaultPlan p = FaultPlan::parse_spec(
+      "seed=3,stall-every=5,stall-ms=2,shard-fail=4,query-fail=7,budget=200");
+  EXPECT_EQ(p.seed, 3u);
+  EXPECT_EQ(p.stall_every, 5u);
+  EXPECT_EQ(p.stall_ms, 2u);
+  EXPECT_EQ(p.shard_fail_every, 4u);
+  EXPECT_EQ(p.query_fail_every, 7u);
+  ASSERT_TRUE(p.fault_budget.has_value());
+  EXPECT_EQ(*p.fault_budget, 200u);
+  // Defaults: no service faults, unlimited budget.
+  const FaultPlan d = FaultPlan::parse_spec("");
+  EXPECT_EQ(d.stall_every, 0u);
+  EXPECT_EQ(d.shard_fail_every, 0u);
+  EXPECT_EQ(d.query_fail_every, 0u);
+  EXPECT_FALSE(d.fault_budget.has_value());
 }
 
 TEST(CorruptBuffer, DeterministicPerSeed) {
@@ -164,6 +183,89 @@ TEST(FaultOutputStream, NoLimitPassesThrough) {
   out.flush();
   EXPECT_TRUE(out.good());
   EXPECT_EQ(sink.str(), "hello 42");
+}
+
+// --- Service-level hooks (stalls, query failures, shard admission). -----
+
+TEST(ServiceHooks, NoOpsWhenDisabled) {
+  ASSERT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::next_chunk_stall(), 0u);
+  EXPECT_FALSE(fault::should_fail_query());
+  auto blob = sample_bytes(64, 29);
+  const auto original = blob;
+  fault::on_shard_admission(blob);
+  EXPECT_EQ(blob, original);
+}
+
+TEST(ServiceHooks, EveryKthCallFiresDeterministically) {
+  fault::ScopedFault scope(
+      FaultPlan::parse_spec("stall-every=2,stall-ms=7,query-fail=3"));
+  // Counters reset on enable(), so the firing pattern is a pure function
+  // of the call count: stalls on calls 2,4,6; query failures on 3,6.
+  std::vector<std::uint32_t> stalls;
+  std::vector<bool> fails;
+  for (int i = 0; i < 6; ++i) {
+    stalls.push_back(fault::next_chunk_stall());
+    fails.push_back(fault::should_fail_query());
+  }
+  EXPECT_EQ(stalls, (std::vector<std::uint32_t>{0, 7, 0, 7, 0, 7}));
+  EXPECT_EQ(fails, (std::vector<bool>{false, false, true, false, false, true}));
+  const auto counters = fault::service_fault_counters();
+  EXPECT_EQ(counters.stalls, 3u);
+  EXPECT_EQ(counters.query_fails, 2u);
+  EXPECT_EQ(counters.shard_fails, 0u);
+  EXPECT_EQ(counters.total(), 5u);
+}
+
+TEST(ServiceHooks, BudgetCapsTotalInjectionsAcrossHooks) {
+  fault::ScopedFault scope(
+      FaultPlan::parse_spec("stall-every=1,stall-ms=1,query-fail=1,budget=3"));
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault::next_chunk_stall() != 0) ++injected;
+    if (fault::should_fail_query()) ++injected;
+  }
+  // The budget is one shared pool: once 3 faults (of either kind) have
+  // been claimed, every later would-be injection is suppressed.
+  EXPECT_EQ(injected, 3u);
+  EXPECT_EQ(fault::service_fault_counters().total(), 3u);
+}
+
+TEST(ServiceHooks, ShardAdmissionFlipsExactlyOneBitDeterministically) {
+  const auto original = sample_bytes(256, 37);
+  auto first = original;
+  auto second = original;
+  {
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=21,shard-fail=1"));
+    fault::on_shard_admission(first);
+  }
+  {
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=21,shard-fail=1"));
+    fault::on_shard_admission(second);
+  }
+  EXPECT_EQ(first, second);  // counters reset on enable => same ordinal
+  std::size_t flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(first[i] ^ original[i])));
+  }
+  // Exactly one bit: CRC-32C detects all single-bit errors, so a strict
+  // re-parse of a hooked admission blob is guaranteed to reject it.
+  EXPECT_EQ(flipped_bits, 1u);
+
+  auto other_seed = original;
+  {
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=22,shard-fail=1"));
+    fault::on_shard_admission(other_seed);
+  }
+  EXPECT_NE(other_seed, first);
+
+  auto empty = std::vector<std::uint8_t>{};
+  {
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=21,shard-fail=1"));
+    fault::on_shard_admission(empty);  // nothing to flip; must not crash
+  }
+  EXPECT_TRUE(empty.empty());
 }
 
 // --- End-to-end: the persistence layer under the global failpoint. ------

@@ -28,11 +28,16 @@
 //       offset on corruption. Exit 0 = intact, 1 = corrupt.
 //   plgtool serve <labels.plgl> [--threads T] [--shards S] [--batch B]
 //                 [--cache C] [--spot-check] [--scheme thin-fat|distance]
-//                 [--strict|--lenient]
+//                 [--strict|--lenient] [--queue-cap N]
+//                 [--shed-policy reject|drop-oldest]
 //       concurrent query service over the store: line protocol on
-//       stdin/stdout (A/D queries, BATCH, STATS, RELOAD, PING, QUIT —
-//       see src/service/serve.h). Labels are sharded across S CRC-
-//       verified snapshot shards and queries fan out over T workers.
+//       stdin/stdout (A/D queries, BATCH, STATS, HEALTH, DEADLINE,
+//       RELOAD, PING, QUIT — see src/service/serve.h). Labels are
+//       sharded across S CRC-verified snapshot shards and queries fan
+//       out over T workers. --queue-cap bounds each worker's queue (in
+//       chunks); a full queue load-sheds per --shed-policy and the shed
+//       queries answer "overloaded" in-band. EOF, SIGINT, and SIGTERM
+//       drain in-flight batches and flush a final STATS line.
 //   plgtool stats <labels.plgl>
 //       one-line JSON observability report for a store: integrity
 //       verdict, label count/bytes, label-size distribution, fat/thin
@@ -45,6 +50,8 @@
 // inject deterministic faults into the I/O paths — the testing hook for
 // the persistence layer's failure contract.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,7 +88,8 @@ using namespace plg;
                "  plgtool verify <labels.plgl>\n"
                "  plgtool serve <labels.plgl> [--threads T] [--shards S] "
                "[--batch B] [--cache C] [--spot-check] "
-               "[--scheme thin-fat|distance] [--strict|--lenient]\n"
+               "[--scheme thin-fat|distance] [--strict|--lenient] "
+               "[--queue-cap N] [--shed-policy reject|drop-oldest]\n"
                "  plgtool stats <labels.plgl>\n"
                "(all commands: [--fault <spec>] injects deterministic I/O "
                "faults)\n");
@@ -107,6 +115,8 @@ struct Flags {
   std::optional<std::size_t> cache;       // serve: per-worker cache entries
   bool spot_check = false;                // serve: checksum every decode
   std::string scheme = "thin-fat";        // serve: which decoder
+  std::optional<std::size_t> queue_cap;   // serve: per-worker queue bound
+  std::string shed_policy = "reject";     // serve: reject | drop-oldest
 
   static Flags parse(int argc, char** argv, int first) {
     Flags f;
@@ -153,6 +163,10 @@ struct Flags {
         f.spot_check = true;
       } else if (key == "--scheme") {
         f.scheme = value();
+      } else if (key == "--queue-cap") {
+        f.queue_cap = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--shed-policy") {
+        f.shed_policy = value();
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
         usage();
@@ -396,12 +410,38 @@ int cmd_verify(int argc, char** argv) {
   return 1;
 }
 
+/// Set by the SIGINT/SIGTERM handler; serve_loop polls it between lines.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int /*sig*/) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+/// Installs the handler WITHOUT SA_RESTART: an interrupted blocking read
+/// on stdin then fails with EINTR instead of silently restarting, so the
+/// loop observes EOF-or-stop promptly and runs its drain + final-STATS
+/// epilogue.
+void install_serve_signals() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 int cmd_serve(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string path = argv[2];
   const Flags f = Flags::parse(argc, argv, 3);
   if (f.scheme != "thin-fat" && f.scheme != "distance") {
     std::fprintf(stderr, "unknown --scheme: %s\n", f.scheme.c_str());
+    usage();
+  }
+  if (f.shed_policy != "reject" && f.shed_policy != "drop-oldest") {
+    std::fprintf(stderr, "unknown --shed-policy: %s\n",
+                 f.shed_policy.c_str());
     usage();
   }
   const std::size_t shards = f.shards.value_or(16);
@@ -415,20 +455,33 @@ int cmd_serve(int argc, char** argv) {
   opt.spot_check = f.spot_check;
   opt.kind = f.scheme == "distance" ? service::QueryKind::kDistance
                                     : service::QueryKind::kAdjacency;
+  opt.queue_cap = f.queue_cap.value_or(0);
+  opt.shed_policy = f.shed_policy == "drop-oldest"
+                        ? service::ShedPolicy::kDropOldest
+                        : service::ShedPolicy::kRejectNew;
 
-  auto snapshot = service::Snapshot::from_file(path, shards, verify);
+  // The initial load admits with quarantine like RELOAD does: under an
+  // active --fault plan (or real bit rot confined to some shards) the
+  // service starts degraded and self-heals rather than refusing to
+  // start. A file that fails its own parse still aborts startup.
+  auto snapshot =
+      service::Snapshot::from_file(path, shards, verify,
+                                   /*allow_quarantine=*/true);
   service::QueryService svc(snapshot, opt);
   std::fprintf(stderr,
-               "serving %s: %llu labels, %zu shards, %u workers "
-               "(protocol: A|D <u> <v>, BATCH n, STATS, RELOAD p, PING, "
-               "QUIT)\n",
+               "serving %s: %llu labels, %zu shards (%zu quarantined), "
+               "%u workers (protocol: A|D <u> <v>, BATCH n, STATS, HEALTH, "
+               "DEADLINE ms, RELOAD p, PING, QUIT)\n",
                path.c_str(),
                static_cast<unsigned long long>(snapshot->size()),
-               snapshot->num_shards(), svc.threads());
+               snapshot->num_shards(), snapshot->num_quarantined(),
+               svc.threads());
 
+  install_serve_signals();
   service::ServeOptions sopt;
   sopt.num_shards = shards;
   sopt.verify = verify;
+  sopt.stop = &g_serve_stop;
   const std::uint64_t answered =
       service::serve_loop(svc, std::cin, std::cout, sopt);
   std::fprintf(stderr, "served %llu queries; final stats: %s\n",
