@@ -1,0 +1,230 @@
+// E16: zero-copy decode plans vs. the BitReader oracle, plus parallel
+// encode scaling.
+//
+// The decode acceleration layer (core/label_view.h) claims that parsing a
+// label's header once and answering adjacency with branch-free word
+// extraction beats re-parsing through a stateful BitReader on every
+// query. This harness measures exactly that trade on the Theorem 3
+// workload the service cares about:
+//
+//   1. generate a Chung-Lu power-law graph (default n = 2^20, alpha 2.5),
+//   2. encode thin/fat labels — serial AND parallel, asserting the two
+//      label sets are bit-identical (the parallel encoder's contract),
+//   3. single-thread adjacency sweeps over a fixed random query stream:
+//      (a) store path: LabelStore::get materializes both labels, then
+//          thin_fat_adjacent — the uncached BitReader serving path the
+//          decode plans replace,
+//      (b) label path: thin_fat_adjacent on pre-materialized Labels —
+//          isolates pure decode cost with materialization amortized away,
+//      (c) view path: label_view_adjacent on pre-parsed LabelViews,
+//      positives cross-checked across all paths (a fast wrong decoder is
+//      not a decoder),
+//   4. emit BENCH_decode.json with workload attribution and exact
+//      p50/p99 per-block latencies for CI's perf-regression gate
+//      (tools/bench_check.py).
+//
+// Usage: bench_decode_plan [n] [avg_deg] [queries] [encode_threads]
+//   defaults:              1048576  8.0   2000000   8
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/label_store.h"
+#include "core/label_view.h"
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace plg;
+
+/// One timed single-thread sweep; records per-query ns in blocks of
+/// `kBlock` (individual adjacency calls are too short to time one by
+/// one). Returns total positives so the work cannot be optimized away.
+template <typename AnswerFn>
+std::uint64_t sweep(const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                        queries,
+                    bench::LatencySamples& lat, double& seconds,
+                    AnswerFn&& answer) {
+  constexpr std::size_t kBlock = 4096;
+  std::uint64_t positives = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t off = 0; off < queries.size(); off += kBlock) {
+    const std::size_t end = std::min(off + kBlock, queries.size());
+    const auto b0 = std::chrono::steady_clock::now();
+    for (std::size_t i = off; i < end; ++i) {
+      positives += answer(queries[i].first, queries[i].second) ? 1 : 0;
+    }
+    const auto b1 = std::chrono::steady_clock::now();
+    lat.record(std::chrono::duration<double, std::nano>(b1 - b0).count() /
+               static_cast<double>(end - off));
+  }
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+  return positives;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (std::size_t{1} << 20);
+  const double avg_deg = argc > 2 ? std::strtod(argv[2], nullptr) : 8.0;
+  const std::size_t num_queries =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000000;
+  const unsigned encode_threads =
+      argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10))
+               : 8;
+  const std::uint64_t tau = static_cast<std::uint64_t>(avg_deg) + 4;
+
+  bench::header("E16: decode plans vs BitReader oracle (Theorem 3 labels)");
+
+  Rng rng(bench::kSeed);
+  const auto t_gen0 = std::chrono::steady_clock::now();
+  const Graph g = chung_lu_power_law(n, 2.5, avg_deg, rng);
+  const auto t_gen1 = std::chrono::steady_clock::now();
+  std::printf("  graph: n=%zu m=%zu max-degree=%zu (%.1fs)\n",
+              g.num_vertices(), g.num_edges(), g.max_degree(),
+              std::chrono::duration<double>(t_gen1 - t_gen0).count());
+
+  // --- encode: serial vs parallel, bit-identical by contract ----------
+  const auto t_enc0 = std::chrono::steady_clock::now();
+  const auto enc_serial = thin_fat_encode(g, tau);
+  const auto t_enc1 = std::chrono::steady_clock::now();
+  const auto enc_par = thin_fat_encode_parallel(g, tau, encode_threads);
+  const auto t_enc2 = std::chrono::steady_clock::now();
+  const double enc_serial_s =
+      std::chrono::duration<double>(t_enc1 - t_enc0).count();
+  const double enc_par_s =
+      std::chrono::duration<double>(t_enc2 - t_enc1).count();
+
+  bool identical = enc_serial.labeling.size() == enc_par.labeling.size();
+  for (std::size_t v = 0; identical && v < enc_serial.labeling.size(); ++v) {
+    const Label& a = enc_serial.labeling[static_cast<Vertex>(v)];
+    const Label& b = enc_par.labeling[static_cast<Vertex>(v)];
+    identical = a.size_bits() == b.size_bits() && a.words() == b.words();
+  }
+  std::printf("  encode: serial %.2fs, parallel(%u) %.2fs (%.2fx), "
+              "bit-identical=%s\n",
+              enc_serial_s, encode_threads, enc_par_s,
+              enc_serial_s / enc_par_s, identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: parallel encode diverged from serial\n");
+    return 1;
+  }
+
+  const auto& enc = enc_serial;
+  bench::WorkloadInfo wl;
+  wl.model = "chung-lu";
+  wl.n = g.num_vertices();
+  wl.m = g.num_edges();
+  wl.alpha = 2.5;
+  wl.avg_deg = avg_deg;
+  wl.tau = tau;
+  wl.width = id_width(n);
+  wl.num_fat = enc.num_fat;
+  wl.num_thin = enc.num_thin;
+  std::printf("  encode: fat=%zu thin=%zu width=%d tau=%" PRIu64 "\n",
+              wl.num_fat, wl.num_thin, wl.width, tau);
+
+  // --- fixed query stream, shared by both decode paths ----------------
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> queries;
+  queries.reserve(num_queries);
+  {
+    Rng qrng = stream_rng(bench::kSeed, 1);
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      queries.emplace_back(qrng.next_below(n), qrng.next_below(n));
+    }
+  }
+
+  // Store path state: the checksummed packed store the service serves
+  // from; get() materializes a Label (allocate + copy) per endpoint.
+  const LabelStore store =
+      LabelStore::parse(LabelStore::serialize(enc.labeling));
+  // Label path state: labels materialized once up front.
+  const std::vector<Label>& labels = enc.labeling.labels();
+  // Plan path state: every label pre-parsed once.
+  const auto t_plan0 = std::chrono::steady_clock::now();
+  std::vector<LabelView> views;
+  views.reserve(labels.size());
+  for (const Label& l : labels) views.push_back(LabelView::parse(l));
+  const double plan_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_plan0)
+                            .count();
+  std::printf("  plan construction: %zu labels in %.3fs (%.0f labels/s)\n",
+              views.size(), plan_s,
+              static_cast<double>(views.size()) / plan_s);
+
+  // --- single-thread decode sweeps ------------------------------------
+  bench::LatencySamples lat_store, lat_label, lat_view;
+  double secs_store = 0.0, secs_label = 0.0, secs_view = 0.0;
+  const std::uint64_t pos_store =
+      sweep(queries, lat_store, secs_store, [&](std::uint64_t u,
+                                                std::uint64_t v) {
+        return thin_fat_adjacent(store.get(u), store.get(v));
+      });
+  const std::uint64_t pos_label =
+      sweep(queries, lat_label, secs_label, [&](std::uint64_t u,
+                                                std::uint64_t v) {
+        return thin_fat_adjacent(labels[u], labels[v]);
+      });
+  const std::uint64_t pos_view =
+      sweep(queries, lat_view, secs_view, [&](std::uint64_t u,
+                                              std::uint64_t v) {
+        return label_view_adjacent(views[u], views[v]);
+      });
+  if (pos_store != pos_view || pos_label != pos_view) {
+    std::fprintf(stderr,
+                 "FATAL: decode paths disagree (store %" PRIu64
+                 ", label %" PRIu64 ", view %" PRIu64 " positives)\n",
+                 pos_store, pos_label, pos_view);
+    return 1;
+  }
+
+  const double qps_store = static_cast<double>(queries.size()) / secs_store;
+  const double qps_label = static_cast<double>(queries.size()) / secs_label;
+  const double qps_view = static_cast<double>(queries.size()) / secs_view;
+  std::printf("\n  %-10s %10s %14s %10s %10s\n", "path", "secs", "queries/s",
+              "p50(ns)", "p99(ns)");
+  std::printf("  %-10s %10.3f %14.0f %10.1f %10.1f\n", "store", secs_store,
+              qps_store, lat_store.p50(), lat_store.p99());
+  std::printf("  %-10s %10.3f %14.0f %10.1f %10.1f\n", "label", secs_label,
+              qps_label, lat_label.p50(), lat_label.p99());
+  std::printf("  %-10s %10.3f %14.0f %10.1f %10.1f\n", "view", secs_view,
+              qps_view, lat_view.p50(), lat_view.p99());
+  std::printf("  decode speedup: %.2fx vs store path, %.2fx vs "
+              "pre-materialized labels (positives=%" PRIu64 ")\n",
+              qps_view / qps_store, qps_view / qps_label, pos_view);
+
+  // --- machine-readable artifact for the CI perf gate -----------------
+  const char* out_path = "BENCH_decode.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"decode_plan\",%s,\"queries\":%zu,"
+        "\"decode\":{\"store_qps\":%.0f,\"label_qps\":%.0f,"
+        "\"view_qps\":%.0f,\"speedup_vs_store\":%.3f,"
+        "\"speedup_vs_label\":%.3f,\"store_p50_ns\":%.1f,"
+        "\"store_p99_ns\":%.1f,\"label_p50_ns\":%.1f,"
+        "\"label_p99_ns\":%.1f,\"view_p50_ns\":%.1f,"
+        "\"view_p99_ns\":%.1f,\"positives\":%" PRIu64 "},"
+        "\"plan\":{\"labels_per_s\":%.0f,\"seconds\":%.3f},"
+        "\"encode\":{\"serial_s\":%.3f,\"parallel_s\":%.3f,"
+        "\"threads\":%u,\"speedup\":%.3f,\"bit_identical\":true}}\n",
+        bench::workload_json(wl).c_str(), queries.size(), qps_store,
+        qps_label, qps_view, qps_view / qps_store, qps_view / qps_label,
+        lat_store.p50(), lat_store.p99(), lat_label.p50(), lat_label.p99(),
+        lat_view.p50(), lat_view.p99(), pos_view,
+        static_cast<double>(views.size()) / plan_s, plan_s, enc_serial_s,
+        enc_par_s, encode_threads, enc_serial_s / enc_par_s);
+    std::fclose(f);
+    std::printf("  wrote %s\n", out_path);
+  }
+  return 0;
+}

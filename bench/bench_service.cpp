@@ -32,6 +32,7 @@
 #include "gen/chung_lu.h"
 #include "service/engine.h"
 #include "service/snapshot.h"
+#include "util/bits.h"
 #include "util/random.h"
 
 namespace {
@@ -47,6 +48,7 @@ struct SweepPoint {
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
   double cache_hit_rate = 0.0;
+  double view_hit_rate = 0.0;
 };
 
 std::vector<unsigned> parse_threads(const char* spec) {
@@ -86,12 +88,23 @@ int main(int argc, char** argv) {
               g.num_vertices(), g.num_edges(), g.max_degree(),
               std::chrono::duration<double>(t_gen1 - t_gen0).count());
 
-  const auto enc = thin_fat_encode_parallel(
-      g, static_cast<std::uint64_t>(avg_deg) + 4);
+  const std::uint64_t tau = static_cast<std::uint64_t>(avg_deg) + 4;
+  const auto enc = thin_fat_encode_parallel(g, tau);
   const auto t_enc = std::chrono::steady_clock::now();
   std::printf("  encode: fat=%zu thin=%zu (%.1fs)\n", enc.num_fat,
               enc.num_thin,
               std::chrono::duration<double>(t_enc - t_gen1).count());
+
+  bench::WorkloadInfo wl;
+  wl.model = "chung-lu";
+  wl.n = g.num_vertices();
+  wl.m = g.num_edges();
+  wl.alpha = 2.5;
+  wl.avg_deg = avg_deg;
+  wl.tau = tau;
+  wl.width = id_width(n);
+  wl.num_fat = enc.num_fat;
+  wl.num_thin = enc.num_thin;
 
   const auto snapshot = Snapshot::build(enc.labeling, kShards);
   std::printf("  snapshot: %zu shards, %.1f MB (CRC-verified)\n",
@@ -153,6 +166,10 @@ int main(int argc, char** argv) {
             ? 0.0
             : static_cast<double>(stats.cache_hits) /
                   static_cast<double>(stats.cache_hits + stats.cache_misses);
+    pt.view_hit_rate =
+        stats.queries == 0 ? 0.0
+                           : static_cast<double>(stats.view_hits) /
+                                 static_cast<double>(stats.queries);
     sweep.push_back(pt);
     std::printf("  %8u %10.2f %12.0f %8.2fx %10" PRIu64 " %10" PRIu64
                 " %8.1f%%\n",
@@ -239,19 +256,19 @@ int main(int argc, char** argv) {
   const char* out_path = "BENCH_service.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
-                 "{\"bench\":\"service\",\"graph\":{\"model\":\"chung-lu\","
-                 "\"n\":%zu,\"m\":%zu,\"alpha\":2.5,\"avg_deg\":%.1f},"
+                 "{\"bench\":\"service\",%s,"
                  "\"queries\":%zu,\"batch\":%zu,\"shards\":%zu,\"sweep\":[",
-                 g.num_vertices(), g.num_edges(), avg_deg, queries.size(),
-                 kBatch, kShards);
+                 bench::workload_json(wl).c_str(), queries.size(), kBatch,
+                 kShards);
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       const SweepPoint& pt = sweep[i];
       std::fprintf(f,
                    "%s{\"threads\":%u,\"seconds\":%.3f,\"qps\":%.0f,"
                    "\"speedup\":%.3f,\"p50_ns\":%" PRIu64 ",\"p99_ns\":%" PRIu64
-                   ",\"cache_hit_rate\":%.3f}",
+                   ",\"cache_hit_rate\":%.3f,\"view_hit_rate\":%.3f}",
                    i == 0 ? "" : ",", pt.threads, pt.seconds, pt.qps,
-                   pt.speedup, pt.p50_ns, pt.p99_ns, pt.cache_hit_rate);
+                   pt.speedup, pt.p50_ns, pt.p99_ns, pt.cache_hit_rate,
+                   pt.view_hit_rate);
     }
     std::fprintf(f,
                  "],\"overload\":{\"workers\":%u,\"queue_cap\":2,"

@@ -1,10 +1,13 @@
-// Shared helpers for the experiment harnesses: fixed-width table printing
-// and a single global seed so every run is reproducible.
+// Shared helpers for the experiment harnesses: fixed-width table printing,
+// a single global seed so every run is reproducible, latency-percentile
+// accumulation, and workload attribution for bench JSON artifacts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace plg::bench {
 
@@ -16,6 +19,72 @@ inline void header(const std::string& title) {
 
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+}
+
+/// Raw latency samples with exact percentiles. The service's lock-free
+/// histogram quantizes to power-of-two buckets (2x error) because it
+/// sits on the hot path; harness-side measurement has no such constraint,
+/// so benches accumulate raw samples and report exact p50/p99 — a mean
+/// alone hides tail regressions that are precisely what a perf gate is
+/// for.
+class LatencySamples {
+ public:
+  void record(double ns) { samples_.push_back(ns); }
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Exact q-quantile (q in [0, 1]) by nearest-rank; sorts lazily.
+  double quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    std::sort(samples_.begin(), samples_.end());
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[idx];
+  }
+
+  double p50() { return quantile(0.50); }
+  double p99() { return quantile(0.99); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Workload attribution carried by every bench JSON record. A throughput
+/// number without the shape of the workload behind it cannot be compared
+/// across commits — decode speed depends on id width, the thin/fat mix,
+/// and the degree threshold at least as much as on the code.
+struct WorkloadInfo {
+  std::string model;        ///< generator ("chung-lu", ...)
+  std::size_t n = 0;        ///< vertices
+  std::size_t m = 0;        ///< edges
+  double alpha = 0.0;       ///< power-law exponent
+  double avg_deg = 0.0;     ///< target average degree
+  std::uint64_t tau = 0;    ///< thin/fat degree threshold
+  int width = 0;            ///< id field width (bits)
+  std::size_t num_fat = 0;  ///< fat vertices
+  std::size_t num_thin = 0; ///< thin vertices
+};
+
+/// Renders the attribution as a `"workload":{...}` JSON fragment (no
+/// trailing comma) for embedding in a bench artifact.
+inline std::string workload_json(const WorkloadInfo& w) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"workload\":{\"model\":\"%s\",\"n\":%zu,\"m\":%zu,\"alpha\":%.2f,"
+      "\"avg_deg\":%.2f,\"tau\":%llu,\"width\":%d,\"num_fat\":%zu,"
+      "\"num_thin\":%zu}",
+      w.model.c_str(), w.n, w.m, w.alpha, w.avg_deg,
+      static_cast<unsigned long long>(w.tau), w.width, w.num_fat, w.num_thin);
+  return std::string(buf);
 }
 
 }  // namespace plg::bench

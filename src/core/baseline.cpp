@@ -136,10 +136,10 @@ bool AdjMatrixScheme::adjacent(const Label& a, const Label& b) const {
   BitReader* hi = ida > idb ? &ra : &rb;
   std::uint64_t low = std::min(ida, idb);
   while (low >= 64) {
-    hi->read_bits(64);
+    (void)hi->read_bits(64);
     low -= 64;
   }
-  if (low > 0) hi->read_bits(static_cast<int>(low));
+  if (low > 0) (void)hi->read_bits(static_cast<int>(low));
   return hi->read_bit();
 }
 

@@ -64,10 +64,10 @@ std::optional<std::uint32_t> DistanceBaseline::distance(const Label& a,
 
   std::uint64_t skip = idb * static_cast<std::uint64_t>(dist_width);
   while (skip >= 64) {
-    ra.read_bits(64);
+    (void)ra.read_bits(64);
     skip -= 64;
   }
-  if (skip > 0) ra.read_bits(static_cast<int>(skip));
+  if (skip > 0) (void)ra.read_bits(static_cast<int>(skip));
   const std::uint64_t d = ra.read_bits(dist_width);
   if (d >= far) return std::nullopt;
   return static_cast<std::uint32_t>(d);

@@ -43,10 +43,10 @@ Header parse(const Label& l) {
 std::uint64_t fat_entry(Header& h, std::uint64_t rank) {
   std::uint64_t skip = rank * static_cast<std::uint64_t>(h.dist_width);
   while (skip >= 64) {
-    h.rest.read_bits(64);
+    (void)h.rest.read_bits(64);
     skip -= 64;
   }
-  if (skip > 0) h.rest.read_bits(static_cast<int>(skip));
+  if (skip > 0) (void)h.rest.read_bits(static_cast<int>(skip));
   return h.rest.read_bits(h.dist_width);
 }
 
@@ -181,10 +181,10 @@ std::optional<std::uint32_t> DistanceScheme::distance(const Label& a,
     for (BitReader* r : {&sa, &sb}) {
       std::uint64_t left = skip;
       while (left >= 64) {
-        r->read_bits(64);
+        (void)r->read_bits(64);
         left -= 64;
       }
-      if (left > 0) r->read_bits(static_cast<int>(left));
+      if (left > 0) (void)r->read_bits(static_cast<int>(left));
     }
     best = std::min(best, scan_thin(sa, ha.width, ha.dist_width, hb.id));
     best = std::min(best, scan_thin(sb, hb.width, hb.dist_width, ha.id));

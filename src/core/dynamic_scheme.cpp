@@ -32,10 +32,10 @@ Parsed parse(const Label& l) {
 bool row_bit(BitReader r, std::uint64_t len, std::uint64_t pos) {
   if (pos >= len) return false;
   while (pos >= 64) {
-    r.read_bits(64);
+    (void)r.read_bits(64);
     pos -= 64;
   }
-  if (pos > 0) r.read_bits(static_cast<int>(pos));
+  if (pos > 0) (void)r.read_bits(static_cast<int>(pos));
   return r.read_bit();
 }
 

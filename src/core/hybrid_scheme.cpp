@@ -41,10 +41,10 @@ bool fat_payload_contains(BitReader r, std::uint64_t needle) {
   if (!list_layout) {
     std::uint64_t skip = needle;
     while (skip >= 64) {
-      r.read_bits(64);
+      (void)r.read_bits(64);
       skip -= 64;
     }
-    if (skip > 0) r.read_bits(static_cast<int>(skip));
+    if (skip > 0) (void)r.read_bits(static_cast<int>(skip));
     return r.read_bit();
   }
   const int fat_width = id_width(k);

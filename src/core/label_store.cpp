@@ -314,7 +314,7 @@ Label LabelStore::get(std::size_t i) const {
   const std::uint64_t start = offsets_[i];
   BitReader r(bits_.data() + start / 64,
               offsets_.back() - (start / 64) * 64);
-  if (start % 64 != 0) r.read_bits(static_cast<int>(start % 64));
+  if (start % 64 != 0) (void)r.read_bits(static_cast<int>(start % 64));
 
   BitWriter w;
   std::size_t remaining = offsets_[i + 1] - offsets_[i];

@@ -103,6 +103,14 @@ class LabelStore {
     return offsets_[i + 1] - offsets_[i];
   }
 
+  /// Zero-copy access to the packed-bits section, for decode plans
+  /// (core/label_view.h) that alias the store instead of materializing
+  /// labels. Label i occupies bits [bit_offset(i), bit_offset(i + 1)) of
+  /// bits_data(). The pointer is valid for the store's lifetime; the
+  /// words are immutable after parse (same contract as get()).
+  const std::uint64_t* bits_data() const noexcept { return bits_.data(); }
+  std::uint64_t bit_offset(std::size_t i) const { return offsets_[i]; }
+
   /// Spot-check: re-derives label i's checksum and compares it against the
   /// stored per-label sum. Always true for v1 stores (no sums persisted).
   bool verify_label(std::size_t i) const;

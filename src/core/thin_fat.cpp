@@ -1,6 +1,7 @@
 #include "core/thin_fat.h"
 
 #include <algorithm>
+#include <cassert>
 #include <thread>
 
 #include "util/bits.h"
@@ -31,6 +32,11 @@ ParsedLabel parse(const Label& l) {
 
 namespace {
 
+/// Bits an Elias gamma code spends on x >= 1.
+constexpr std::size_t gamma_bits(std::uint64_t x) noexcept {
+  return 2 * static_cast<std::size_t>(floor_log2(x)) + 1;
+}
+
 /// Builds one vertex's label. `sorted_ids` is caller-provided scratch so
 /// hot loops stay allocation-free.
 Label encode_vertex(const Graph& g, Vertex v,
@@ -38,7 +44,23 @@ Label encode_vertex(const Graph& g, Vertex v,
                     const std::vector<std::uint32_t>& identifier,
                     std::uint32_t k, int width,
                     std::vector<std::uint32_t>& sorted_ids) {
+  // The label layout is fully determined by (width, fat, deg-or-k), so
+  // the final bit length is computable up front: header = gamma(width) +
+  // fat bit + width-bit id, then gamma(deg+1) + deg*width for thin
+  // (Theorem 3's tau*log n + O(log n) term) or gamma(k+1) + k for fat
+  // (Theorem 4's k + O(log n) term). Pre-reserving turns the per-label
+  // BitWriter into a single allocation, and the assert at the bottom
+  // pins the encoder to the paper's bound — any layout drift that grows
+  // a label past its computed size fails loudly in debug builds.
+  const std::uint64_t payload_items =
+      fat_mask[v] ? k : static_cast<std::uint64_t>(g.neighbors(v).size());
+  const std::size_t expected_bits =
+      gamma_bits(static_cast<std::uint64_t>(width)) + 1 +
+      static_cast<std::size_t>(width) + gamma_bits(payload_items + 1) +
+      static_cast<std::size_t>(payload_items) *
+          (fat_mask[v] ? 1 : static_cast<std::size_t>(width));
   BitWriter w;
+  w.reserve_bits(expected_bits);
   w.write_gamma(static_cast<std::uint64_t>(width));
   const bool fat = fat_mask[v];
   w.write_bit(fat);
@@ -68,6 +90,7 @@ Label encode_vertex(const Graph& g, Vertex v,
       w.write_bits(nb_id, width);
     }
   }
+  assert(w.size_bits() == expected_bits);
   return Label::from_writer(std::move(w));
 }
 
@@ -201,10 +224,10 @@ bool thin_fat_adjacent(const Label& a, const Label& b) {
     // Skip to the pb.id-th bit of the row.
     std::uint64_t skip = pb.id;
     while (skip >= 64) {
-      pa.rest.read_bits(64);
+      (void)pa.rest.read_bits(64);  // discard: skipping, not decoding
       skip -= 64;
     }
-    if (skip > 0) pa.rest.read_bits(static_cast<int>(skip));
+    if (skip > 0) (void)pa.rest.read_bits(static_cast<int>(skip));
     return pa.rest.read_bit();
   }
 

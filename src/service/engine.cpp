@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/distance_scheme.h"
+#include "core/label_view.h"
 #include "core/thin_fat.h"
 #include "util/errors.h"
 #include "util/fault_injection.h"
@@ -39,6 +40,7 @@ struct QueryService::WorkerState {
   std::vector<Slot> cache;  ///< direct-mapped; empty = caching disabled
   Label scratch_a;          ///< uncached decode target for endpoint u
   Label scratch_b;          ///< uncached decode target for endpoint v
+  std::vector<std::uint32_t> order;  ///< reusable chunk permutation buffer
 
   /// Materializes label v through the direct-mapped cache. Entries are
   /// tagged with the snapshot's process-unique id, so a hot swap
@@ -130,7 +132,29 @@ void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
     std::this_thread::sleep_for(std::chrono::milliseconds(stall));
   }
 
+  // Answer the chunk in shard order of the first endpoint: consecutive
+  // queries then walk the same shard's view table and packed bits, so the
+  // decode-plan fast path below stays cache-resident instead of hopping
+  // between shards per query. The permutation is worker-owned and reused
+  // across chunks; stable_sort keeps it deterministic. Results still land
+  // at their original batch positions.
+  std::vector<std::uint32_t>& order = ws.order;
+  // plglint-disable(hot-path-alloc): amortized — the worker-owned buffer
+  // grows to the chunk size once and is reused by every later chunk.
+  order.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  if (count > 1) {
+    const ShardMap& map = snap.shard_map();
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return map.shard_of(reqs[x].u) < map.shard_of(reqs[y].u);
+                     });
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = order[k];
     const auto t0 = std::chrono::steady_clock::now();
     if (ctl.deadline &&
         (ctl.cancelled.load(std::memory_order_relaxed) ||
@@ -140,10 +164,11 @@ void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
       // unanswered reports kDeadlineExceeded. Cancelled queries are not
       // counted in m.queries — they were never served.
       ctl.cancelled.store(true, std::memory_order_relaxed);
-      for (std::size_t j = i; j < count; ++j) {
-        results[j] = QueryResult{QueryStatus::kDeadlineExceeded, false, -1};
+      for (std::size_t j = k; j < count; ++j) {
+        results[order[j]] =
+            QueryResult{QueryStatus::kDeadlineExceeded, false, -1};
       }
-      m.deadline_exceeded.fetch_add(count - i, std::memory_order_relaxed);
+      m.deadline_exceeded.fetch_add(count - k, std::memory_order_relaxed);
       return;
     }
     const QueryRequest& q = reqs[i];
@@ -164,24 +189,48 @@ void QueryService::run_chunk(unsigned worker, const Snapshot& snap,
       note_shard_corruption(snap, q.u);
     } else {
       try {
-        const Label* la =
-            &ws.fetch_label(snap, q.u, opt_.spot_check, m, ws.scratch_a);
-        if (!ws.cache.empty() && q.u != q.v &&
-            q.u % ws.cache.size() == q.v % ws.cache.size()) {
-          // Both endpoints map to one cache slot: fetching v would
-          // overwrite the storage la refers to. Detach u's label first.
-          ws.scratch_a = *la;
-          la = &ws.scratch_a;
-        }
-        const Label& lb =
-            ws.fetch_label(snap, q.v, opt_.spot_check, m, ws.scratch_b);
-        if (opt_.kind == QueryKind::kAdjacency) {
-          r.adjacent = thin_fat_adjacent(*la, lb);
+        // Fast path: answer straight from the snapshot's decode plans —
+        // no label materialization, no cache traffic, branch-free word
+        // extraction. Falls through to the BitReader path whenever either
+        // endpoint lacks a plan (quarantine-adjacent states, or plan
+        // construction failed at admission); behavioral equivalence with
+        // thin_fat_adjacent — answers and DecodeErrors both — is the
+        // LabelView contract, differentially fuzzed in
+        // tests/test_label_view.cpp.
+        const LabelView* va = nullptr;
+        const LabelView* vb = nullptr;
+        if (opt_.kind == QueryKind::kAdjacency &&
+            (va = snap.view(q.u)) != nullptr &&
+            (vb = snap.view(q.v)) != nullptr) {
+          if (opt_.spot_check &&
+              (!snap.verify_label(q.u) || !snap.verify_label(q.v))) {
+            // plglint-disable(hot-path-throw): DecodeError is the in-band
+            // corruption contract; the catch below answers kCorrupt.
+            throw DecodeError("service: label fails spot checksum");
+          }
+          r.adjacent = label_view_adjacent(*va, *vb);
           if (r.adjacent) m.positive.fetch_add(1, std::memory_order_relaxed);
+          m.view_hits.fetch_add(1, std::memory_order_relaxed);
         } else {
-          const auto d = DistanceScheme::distance(*la, lb);
-          r.distance = d ? static_cast<std::int64_t>(*d) : -1;
-          if (d) m.positive.fetch_add(1, std::memory_order_relaxed);
+          const Label* la =
+              &ws.fetch_label(snap, q.u, opt_.spot_check, m, ws.scratch_a);
+          if (!ws.cache.empty() && q.u != q.v &&
+              q.u % ws.cache.size() == q.v % ws.cache.size()) {
+            // Both endpoints map to one cache slot: fetching v would
+            // overwrite the storage la refers to. Detach u's label first.
+            ws.scratch_a = *la;
+            la = &ws.scratch_a;
+          }
+          const Label& lb =
+              ws.fetch_label(snap, q.v, opt_.spot_check, m, ws.scratch_b);
+          if (opt_.kind == QueryKind::kAdjacency) {
+            r.adjacent = thin_fat_adjacent(*la, lb);
+            if (r.adjacent) m.positive.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            const auto d = DistanceScheme::distance(*la, lb);
+            r.distance = d ? static_cast<std::int64_t>(*d) : -1;
+            if (d) m.positive.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       } catch (const DecodeError&) {
         // Corruption fallback: the query reports kCorrupt instead of the

@@ -12,6 +12,7 @@ ServiceStats MetricsRegistry::aggregate() const {
     out.queries += w.queries.load(std::memory_order_relaxed);
     out.batches += w.batches.load(std::memory_order_relaxed);
     out.positive += w.positive.load(std::memory_order_relaxed);
+    out.view_hits += w.view_hits.load(std::memory_order_relaxed);
     out.cache_hits += w.cache_hits.load(std::memory_order_relaxed);
     out.cache_misses += w.cache_misses.load(std::memory_order_relaxed);
     out.corruptions += w.corruptions.load(std::memory_order_relaxed);
@@ -53,7 +54,8 @@ std::string ServiceStats::to_json() const {
   std::snprintf(
       buf, sizeof(buf),
       "{\"workers\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
-      ",\"positive\":%" PRIu64 ",\"cache_hits\":%" PRIu64
+      ",\"positive\":%" PRIu64 ",\"view_hits\":%" PRIu64
+      ",\"cache_hits\":%" PRIu64
       ",\"cache_misses\":%" PRIu64 ",\"corruptions\":%" PRIu64
       ",\"range_errors\":%" PRIu64 ",\"shed_chunks\":%" PRIu64
       ",\"shed_queries\":%" PRIu64 ",\"deadline_exceeded\":%" PRIu64
@@ -62,7 +64,7 @@ std::string ServiceStats::to_json() const {
       ",\"labels\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"shards\":%" PRIu64
       ",\"quarantined\":%" PRIu64 "},\"latency_ns\":{\"p50\":%" PRIu64
       ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 "},\"latency_hist\":[",
-      workers, queries, batches, positive, cache_hits, cache_misses,
+      workers, queries, batches, positive, view_hits, cache_hits, cache_misses,
       corruptions, range_errors, shed_chunks, shed_queries,
       deadline_exceeded, quarantine_hits, heal_attempts, heal_successes,
       snapshot_generation, snapshot_labels, snapshot_bytes, snapshot_shards,

@@ -33,9 +33,28 @@ Snapshot::Shard Snapshot::admit(std::vector<Label> labels,
   try {
     shard.store = std::make_shared<const LabelStore>(
         LabelStore::parse(std::move(blob), StoreVerify::kStrict));
+    // Admission is also where decode plans are built: one header parse
+    // per label, amortized over every query the snapshot will ever
+    // serve. A label whose plan fails to construct (possible only if the
+    // encoder emitted something thin_fat_parse_header rejects) keeps an
+    // invalid placeholder and is served through the materializing
+    // fallback instead.
+    auto views = std::make_shared<std::vector<LabelView>>();
+    views->reserve(shard.store->size());
+    for (std::size_t i = 0; i < shard.store->size(); ++i) {
+      try {
+        views->push_back(LabelView::parse(
+            shard.store->bits_data(), shard.store->bit_offset(i),
+            static_cast<std::uint64_t>(shard.store->size_bits(i))));
+      } catch (const DecodeError&) {
+        views->push_back(LabelView());
+      }
+    }
+    shard.views = std::move(views);
   } catch (const DecodeError& e) {
     if (!allow_quarantine) throw;
     shard.store = nullptr;
+    shard.views = nullptr;
     shard.bytes = 0;
     shard.error = e.what();
     shard.heal_labels =
@@ -130,6 +149,7 @@ std::shared_ptr<const Snapshot> Snapshot::with_quarantined_shard(
       sh.heal_labels = nullptr;
     }
     sh.store = nullptr;
+    sh.views = nullptr;
     sh.bytes = 0;
   }
   sh.error = std::move(reason);

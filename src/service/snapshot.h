@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/label_store.h"
+#include "core/label_view.h"
 #include "core/labeling.h"
 #include "service/shard_map.h"
 #include "util/locks.h"
@@ -106,6 +107,22 @@ class Snapshot {
         static_cast<std::size_t>(map_.index_in_shard(v)));
   }
 
+  /// Zero-copy decode plan for vertex v's label, or nullptr when the
+  /// shard has no plan table (quarantined) or plan construction failed
+  /// for this label at admission (the engine then falls back to the
+  /// materializing get() + thin_fat_adjacent path). The returned view
+  /// aliases the shard's LabelStore bits and is valid for the snapshot's
+  /// lifetime. Precondition: v < size().
+  // plglint: noexcept-hot-path
+  const LabelView* view(std::uint64_t v) const noexcept {
+    const std::size_t s = map_.shard_of(v);
+    const std::vector<LabelView>* views = shards_[s].views.get();
+    if (views == nullptr) return nullptr;
+    const LabelView& lv =
+        (*views)[static_cast<std::size_t>(map_.index_in_shard(v))];
+    return lv.valid() ? &lv : nullptr;
+  }
+
   /// Re-derives v's stored spot checksum. False means the shard's bits
   /// rotted *after* admission (or the encoder lied); the engine counts
   /// these as corruption fallbacks. Precondition as for get().
@@ -129,7 +146,7 @@ class Snapshot {
   /// Number of quarantined shards (0 on a fully healthy snapshot).
   std::size_t num_quarantined() const noexcept {
     std::size_t n = 0;
-    for (const Shard& sh : shards_) n += sh.store == nullptr ? 1 : 0;
+    for (const Shard& sh : shards_) n += sh.store == nullptr ? 1u : 0u;
     return n;
   }
 
@@ -176,6 +193,11 @@ class Snapshot {
   /// healthy snapshots carry no label copies.
   struct Shard {
     std::shared_ptr<const LabelStore> store;
+    /// Decode plans, one per label, parsed once at admission. Views alias
+    /// `store`'s packed bits, so the two members share one lifetime (both
+    /// are copied together by clone_shards). Null iff store is null.
+    /// Labels whose plan construction failed hold an invalid placeholder.
+    std::shared_ptr<const std::vector<LabelView>> views;
     std::shared_ptr<const std::vector<Label>> heal_labels;
     std::string error;
     std::uint64_t bytes = 0;

@@ -62,11 +62,20 @@ std::uint64_t BitReader::read_bits(int width) {
 }
 
 std::uint64_t BitReader::read_gamma() {
-  int len = 0;
-  while (!read_bit()) {
-    ++len;
-    if (len > 64) throw DecodeError("BitReader: malformed gamma code");
+  // Unary prefix, word-parallel: locate the stop bit with one load + ctz
+  // per word instead of a bounds-checked read_bit() per zero. Running off
+  // the stream is "read past end" (same as the per-bit loop hitting the
+  // end); a 64+ zero prefix is malformed — write_gamma never emits more
+  // than 63 (floor_log2 of a u64), and a length of 64 would make the
+  // 1 << len below undefined.
+  const std::uint64_t stop = find_set_bit(words_, pos_, size_bits_);
+  if (stop >= size_bits_) {
+    throw DecodeError("BitReader: read past end of stream");
   }
+  const std::uint64_t len64 = stop - pos_;
+  if (len64 > 63) throw DecodeError("BitReader: malformed gamma code");
+  const int len = static_cast<int>(len64);
+  pos_ = stop + 1;  // consume the zeros and the stop bit
   std::uint64_t low = 0;
   if (len > 0) low = read_bits(len);
   return (std::uint64_t{1} << len) | low;

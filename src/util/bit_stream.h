@@ -36,8 +36,13 @@ class BitWriter {
   /// Gamma code shifted so that zero is encodable (encodes x+1).
   void write_gamma0(std::uint64_t x) { write_gamma(x + 1); }
 
+  /// Pre-sizes the backing word vector for a label whose final length is
+  /// known (or bounded) up front, so hot encode loops append without
+  /// repeated reallocation.
+  void reserve_bits(std::size_t bits) { words_.reserve((bits + 63) / 64); }
+
   /// Number of bits written so far.
-  std::size_t size_bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t size_bits() const noexcept { return bits_; }
 
   /// Finalizes and returns the backing words (moved out).
   std::vector<std::uint64_t> take_words() && { return std::move(words_); }
@@ -61,34 +66,45 @@ class BitReader {
   BitReader(const std::uint64_t* words, std::size_t size_bits) noexcept
       : words_(words), size_bits_(size_bits) {}
 
-  /// Reads `width` bits (0 <= width <= 64).
-  std::uint64_t read_bits(int width);
+  /// Reads `width` bits (0 <= width <= 64). One bounds check per call,
+  /// regardless of width — variable-length decoders (read_gamma,
+  /// read_delta) batch their field reads through here rather than
+  /// looping over read_bit, so the check cost is per *field*, not per
+  /// bit.
+  [[nodiscard]] std::uint64_t read_bits(int width);
 
-  bool read_bit() { return read_bits(1) != 0; }
+  [[nodiscard]] bool read_bit() { return read_bits(1) != 0; }
 
-  /// Reads an Elias gamma code; result >= 1.
-  std::uint64_t read_gamma();
+  /// Reads an Elias gamma code; result >= 1. The unary length prefix is
+  /// scanned word-at-a-time (find_set_bit), not bit-at-a-time: one
+  /// bounds check and one ctz per 64 zeros instead of one of each per
+  /// zero. Rejects prefixes of 64+ zeros as malformed — no valid
+  /// write_gamma output has one, and accepting 64 would shift 1<<64 (UB)
+  /// downstream.
+  [[nodiscard]] std::uint64_t read_gamma();
 
   /// Reads an Elias delta code; result >= 1.
-  std::uint64_t read_delta();
+  [[nodiscard]] std::uint64_t read_delta();
 
   /// Reads a shifted gamma code; result >= 0.
-  std::uint64_t read_gamma0() { return read_gamma() - 1; }
+  [[nodiscard]] std::uint64_t read_gamma0() { return read_gamma() - 1; }
 
   /// Reads a gamma-coded id-field width and validates it against the
   /// 32-bit vertex-id ceiling. Every label decoder MUST use this (or an
   /// equivalent check) for its width header: a corrupted label can
   /// otherwise smuggle an arbitrary gamma value into a read_bits() width,
   /// which is undefined past 64.
-  int read_id_width() {
+  [[nodiscard]] int read_id_width() {
     const std::uint64_t w = read_gamma();
     if (w > 32) throw DecodeError("BitReader: absurd id width");
     return static_cast<int>(w);
   }
 
-  std::size_t position() const noexcept { return pos_; }
-  std::size_t remaining() const noexcept { return size_bits_ - pos_; }
-  bool exhausted() const noexcept { return pos_ >= size_bits_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_bits_ - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= size_bits_; }
 
  private:
   const std::uint64_t* words_;

@@ -35,4 +35,105 @@ constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
   return (bits + 63) / 64;
 }
 
+// ---------------------------------------------------------------------------
+// Random-access word extraction — the decode-plan primitives.
+//
+// BitReader is a *sequential* cursor: every field costs a bounds check and
+// cursor bookkeeping, which is the right contract for parsing untrusted
+// headers but wasteful for the fixed-width payloads behind them. The
+// helpers below are the random-access counterpart used by LabelView
+// (core/label_view.h): the caller proves the extent once, then reads any
+// field position directly. None of them bounds-check — they touch only
+// the words containing the requested bits, so the caller's extent check
+// is the whole safety argument.
+
+/// Reads the `width`-bit field starting at absolute bit `pos` of `words`
+/// (little-endian-within-word, the BitWriter layout). 1 <= width <= 64.
+/// Touches words[pos/64] and, only when the field spans a boundary,
+/// words[pos/64 + 1] — never beyond the words holding [pos, pos+width).
+inline std::uint64_t extract_bits(const std::uint64_t* words,
+                                  std::uint64_t pos, int width) noexcept {
+  const std::uint64_t word = pos >> 6;
+  const int offset = static_cast<int>(pos & 63);
+  std::uint64_t value = words[word] >> offset;
+  if (offset + width > 64) {
+    value |= words[word + 1] << (64 - offset);
+  }
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  return value;
+}
+
+/// Absolute index of the first 1-bit in [pos, end) of `words`, or `end`
+/// when the range is all zeros. Scans word-at-a-time (one load + ctz per
+/// 64 bits) instead of bit-at-a-time; bits at/after `end` inside the last
+/// word are ignored, so trailing padding never counts as a hit.
+inline std::uint64_t find_set_bit(const std::uint64_t* words,
+                                  std::uint64_t pos,
+                                  std::uint64_t end) noexcept {
+  while (pos < end) {
+    const std::uint64_t offset = pos & 63;
+    const std::uint64_t avail0 = 64 - offset;
+    const std::uint64_t left = end - pos;
+    const std::uint64_t avail = avail0 < left ? avail0 : left;
+    const std::uint64_t window = words[pos >> 6] >> offset;
+    if (window != 0) {
+      const std::uint64_t tz =
+          static_cast<std::uint64_t>(std::countr_zero(window));
+      if (tz < avail) return pos + tz;
+    }
+    pos += avail;
+  }
+  return end;
+}
+
+/// True iff any of the `count` consecutive `width`-bit fields packed at
+/// absolute bit `pos` of `words` equals `target`. Word-parallel when
+/// width <= 32: each probe extracts floor(64/width) fields in one
+/// unaligned load and tests them simultaneously with the SWAR zero-field
+/// trick — x = chunk XOR pattern has a zero field iff
+/// (x - lows) & ~x & highs is nonzero, where `lows` has a 1 in each
+/// field's LSB and `highs` in each field's MSB. (The intermediate value
+/// can flag fields *above* a genuine zero too, borrow pollution, but as
+/// an any-zero predicate it is exact — which is all membership needs.)
+/// Falls back to one extract per field for width > 32. No bounds checks:
+/// the caller guarantees [pos, pos + count*width) lies inside `words`.
+inline bool contains_id(const std::uint64_t* words, std::uint64_t pos,
+                        int width, std::uint64_t count,
+                        std::uint64_t target) noexcept {
+  if (count == 0) return false;
+  const std::uint64_t uwidth = static_cast<std::uint64_t>(width);
+  // A target that does not fit in `width` bits can never match a field
+  // (and would corrupt the SWAR pattern below).
+  if (width < 64 && (target >> uwidth) != 0) return false;
+  if (width > 32) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (extract_bits(words, pos + i * uwidth, width) == target) return true;
+    }
+    return false;
+  }
+  const std::uint64_t per = 64 / uwidth;  // fields per probe (>= 2)
+  std::uint64_t lows = 0;                 // 1 in each field's LSB
+  for (std::uint64_t i = 0; i < per; ++i) {
+    lows |= std::uint64_t{1} << (i * uwidth);
+  }
+  const std::uint64_t pattern = lows * target;  // target in every field
+  const std::uint64_t highs = lows << (uwidth - 1);
+  std::uint64_t i = 0;
+  for (; i + per <= count; i += per) {
+    const std::uint64_t chunk =
+        extract_bits(words, pos + i * uwidth, static_cast<int>(per * uwidth));
+    const std::uint64_t x = chunk ^ pattern;
+    if ((x - lows) & ~x & highs) return true;
+  }
+  if (i < count) {  // tail: t < per fields, masks rebuilt for t
+    const std::uint64_t t = count - i;
+    const std::uint64_t tail_lows = lows & ((std::uint64_t{1} << (t * uwidth)) - 1);
+    const std::uint64_t chunk =
+        extract_bits(words, pos + i * uwidth, static_cast<int>(t * uwidth));
+    const std::uint64_t x = chunk ^ (tail_lows * target);
+    if ((x - tail_lows) & ~x & (tail_lows << (uwidth - 1))) return true;
+  }
+  return false;
+}
+
 }  // namespace plg

@@ -67,13 +67,13 @@ TEST(BitStream, ReadPastEndThrows) {
   w.write_bits(0b101, 3);
   const auto& words = w.words();
   BitReader r(words.data(), w.size_bits());
-  r.read_bits(3);
-  EXPECT_THROW(r.read_bit(), DecodeError);
+  (void)r.read_bits(3);
+  EXPECT_THROW((void)r.read_bit(), DecodeError);
 }
 
 TEST(BitStream, EmptyReaderThrows) {
   BitReader r;
-  EXPECT_THROW(r.read_bit(), DecodeError);
+  EXPECT_THROW((void)r.read_bit(), DecodeError);
 }
 
 TEST(BitStream, GammaCostFormula) {
@@ -184,7 +184,7 @@ TEST(BitStream, TruncatedGammaThrows) {
   w.write_bits(0, 10);  // ten zeros: a gamma prefix whose stop bit is missing
   const auto& words = w.words();
   BitReader r(words.data(), w.size_bits());
-  EXPECT_THROW(r.read_gamma(), DecodeError);
+  EXPECT_THROW((void)r.read_gamma(), DecodeError);
 }
 
 TEST(BitStream, PositionTracking) {
@@ -194,7 +194,7 @@ TEST(BitStream, PositionTracking) {
   const auto& words = w.words();
   BitReader r(words.data(), w.size_bits());
   EXPECT_EQ(r.position(), 0u);
-  r.read_gamma();
+  (void)r.read_gamma();
   EXPECT_EQ(r.position(), 5u);  // gamma(7) = 2*2+1 bits
   EXPECT_EQ(r.remaining(), 11u);
 }

@@ -64,5 +64,99 @@ TEST(Bits, WordsForBits) {
   EXPECT_EQ(words_for_bits(129), 3u);
 }
 
+// --- decode-plan primitives (random-access word extraction) ------------
+
+TEST(Bits, ExtractBitsMatchesReferenceAtEveryOffsetAndWidth) {
+  // Fixed pseudo-random words; reference implementation reads bit by bit.
+  const std::uint64_t words[4] = {0x0123456789abcdefULL, 0xfedcba9876543210ULL,
+                                  0xdeadbeefcafef00dULL, 0x5555aaaa33339999ULL};
+  const auto ref_bit = [&](std::uint64_t pos) {
+    return (words[pos >> 6] >> (pos & 63)) & 1u;
+  };
+  for (int width = 1; width <= 64; ++width) {
+    for (std::uint64_t pos = 0; pos + width <= 256; pos += 7) {
+      std::uint64_t expect = 0;
+      for (int b = 0; b < width; ++b) {
+        expect |= ref_bit(pos + static_cast<std::uint64_t>(b)) << b;
+      }
+      ASSERT_EQ(extract_bits(words, pos, width), expect)
+          << "pos " << pos << " width " << width;
+    }
+  }
+}
+
+TEST(Bits, FindSetBitScansAndRespectsEnd) {
+  std::uint64_t words[3] = {0, 0, 0};
+  EXPECT_EQ(find_set_bit(words, 0, 192), 192u);  // all zeros -> end
+  words[1] = std::uint64_t{1} << 17;             // absolute bit 81
+  EXPECT_EQ(find_set_bit(words, 0, 192), 81u);
+  EXPECT_EQ(find_set_bit(words, 81, 192), 81u);   // inclusive at pos
+  EXPECT_EQ(find_set_bit(words, 82, 192), 192u);  // strictly after
+  EXPECT_EQ(find_set_bit(words, 0, 81), 81u);     // end excludes the bit
+  // A set bit beyond `end` inside the same word must not count.
+  EXPECT_EQ(find_set_bit(words, 64, 80), 80u);
+  // Empty range.
+  EXPECT_EQ(find_set_bit(words, 50, 50), 50u);
+}
+
+TEST(Bits, ContainsIdMatchesLinearScan) {
+  // Pack fields of every width 1..36 at an awkward bit offset and compare
+  // the SWAR/word-parallel answer against a plain linear scan, probing
+  // present values, absent values, and out-of-range targets.
+  for (int width = 1; width <= 36; ++width) {
+    const std::uint64_t uw = static_cast<std::uint64_t>(width);
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << uw) - 1;
+    const std::uint64_t count = 23;
+    const std::uint64_t base = 13;  // unaligned payload start
+    std::uint64_t words[32] = {};
+    std::uint64_t fields[23];
+    std::uint64_t state = 0x9a7ec0deULL + static_cast<std::uint64_t>(width);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      fields[i] = (state >> 20) & mask;
+      const std::uint64_t pos = base + i * uw;
+      words[pos >> 6] |= (fields[i] & mask) << (pos & 63);
+      if (((pos & 63) + uw) > 64) {
+        words[(pos >> 6) + 1] |= fields[i] >> (64 - (pos & 63));
+      }
+    }
+    const auto linear = [&](std::uint64_t target) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (fields[i] == target) return true;
+      }
+      return false;
+    };
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(contains_id(words, base, width, count, fields[i]))
+          << "width " << width << " field " << i;
+    }
+    for (std::uint64_t probe = 0; probe <= mask && probe < 300; ++probe) {
+      ASSERT_EQ(contains_id(words, base, width, count, probe), linear(probe))
+          << "width " << width << " probe " << probe;
+    }
+    // Out-of-range target can never match (and must not wrap the SWAR
+    // pattern); zero count matches nothing.
+    if (width < 64) {
+      EXPECT_FALSE(contains_id(words, base, width, count, mask + 1));
+    }
+    EXPECT_FALSE(contains_id(words, base, width, 0, fields[0]));
+    // Prefix counts: membership of the last field flips exactly when the
+    // count crosses it (tail-mask correctness).
+    const std::uint64_t last = fields[count - 1];
+    if (!linear(last) || fields[count - 1] != fields[0]) {
+      bool seen = false;
+      for (std::uint64_t c = 0; c <= count; ++c) {
+        for (std::uint64_t i = 0; i < c; ++i) {
+          if (fields[i] == last) seen = true;
+        }
+        ASSERT_EQ(contains_id(words, base, width, c, last), seen)
+            << "width " << width << " prefix " << c;
+        if (seen) break;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace plg

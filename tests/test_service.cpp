@@ -202,7 +202,9 @@ TEST(QueryService, BatchMatchesOracle) {
   }
   const ServiceStats stats = svc.stats();
   EXPECT_EQ(stats.queries, batch.size());
-  EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+  // Adjacency queries on a healthy snapshot are answered from decode
+  // plans; the label cache only serves the fallback path.
+  EXPECT_GT(stats.view_hits + stats.cache_hits + stats.cache_misses, 0u);
   EXPECT_EQ(stats.corruptions, 0u);
 }
 

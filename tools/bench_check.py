@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""One-sided perf-regression gate for bench JSON artifacts.
+
+Compares a freshly produced bench artifact (e.g. BENCH_decode.json)
+against a committed baseline. Metrics are dot-paths into the JSON and are
+treated as higher-is-better: the check FAILS only when
+
+    current < baseline * (1 - tolerance)
+
+Improvements never fail the gate (they should be committed as the new
+baseline instead). Because absolute throughput is machine-dependent,
+ratio metrics (speedups) travel better across hosts than raw qps — gate
+CI on speedups with --min floors, and keep qps comparisons for
+like-for-like hosts.
+
+Usage:
+  bench_check.py --current BENCH_decode.json \
+      --baseline bench/baseline/BENCH_decode.json \
+      --metric decode.speedup_vs_store --metric encode.speedup \
+      [--tolerance 0.15] \
+      [--min decode.speedup_vs_store=3.0] ...
+
+  --metric PATH      compare current vs baseline at PATH (repeatable)
+  --min PATH=VALUE   absolute floor, independent of the baseline
+                     (repeatable; PATH need not be listed via --metric)
+  --tolerance T      allowed relative shortfall vs baseline (default 0.15)
+
+Exit status: 0 when every check passes, 1 on any regression, 2 on usage
+or schema errors (missing file, missing metric path).
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(obj, path):
+    """Resolves a dot-path like 'decode.speedup_vs_store' in nested dicts."""
+    cur = obj
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            raise KeyError(path)
+        cur = cur[part]
+    if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+        raise TypeError(f"{path} is not numeric: {cur!r}")
+    return float(cur)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--metric", action="append", default=[],
+                    help="dot-path metric to compare (higher is better)")
+    ap.add_argument("--min", action="append", default=[], metavar="PATH=VALUE",
+                    help="absolute floor for a metric")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot load artifacts: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    rows = []
+
+    for path in args.metric:
+        try:
+            cur = lookup(current, path)
+            base = lookup(baseline, path)
+        except (KeyError, TypeError) as e:
+            print(f"bench_check: bad metric {path}: {e}", file=sys.stderr)
+            return 2
+        floor = base * (1.0 - args.tolerance)
+        ok = cur >= floor
+        rows.append((path, cur, base, floor, ok))
+        if not ok:
+            failures.append(
+                f"{path}: {cur:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, tolerance {args.tolerance:.0%})")
+
+    for spec in args.min:
+        if "=" not in spec:
+            print(f"bench_check: bad --min spec: {spec}", file=sys.stderr)
+            return 2
+        path, _, value = spec.partition("=")
+        try:
+            floor = float(value)
+            cur = lookup(current, path)
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"bench_check: bad --min {spec}: {e}", file=sys.stderr)
+            return 2
+        ok = cur >= floor
+        rows.append((f"{path} (floor)", cur, floor, floor, ok))
+        if not ok:
+            failures.append(f"{path}: {cur:.3f} < absolute floor {floor:.3f}")
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{width}}  {'current':>12}  {'reference':>12}  "
+          f"{'floor':>12}  result")
+    for path, cur, base, floor, ok in rows:
+        print(f"{path:<{width}}  {cur:>12.3f}  {base:>12.3f}  "
+              f"{floor:>12.3f}  {'ok' if ok else 'REGRESSION'}")
+
+    if failures:
+        print("\nbench_check: PERF REGRESSION", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nbench_check: all perf checks pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

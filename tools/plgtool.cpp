@@ -84,7 +84,7 @@ using namespace plg;
                "  plgtool labels <graph> <out.plgl> [--alpha A] "
                "[--cprime C|fit]\n"
                "  plgtool lquery <labels.plgl> <u> <v> [--strict|--lenient] "
-               "[--graph <graph>]\n"
+               "[--graph <graph>] [--fast]\n"
                "  plgtool verify <labels.plgl>\n"
                "  plgtool serve <labels.plgl> [--threads T] [--shards S] "
                "[--batch B] [--cache C] [--spot-check] "
@@ -114,6 +114,7 @@ struct Flags {
   std::optional<std::size_t> batch;       // serve: queries per chunk
   std::optional<std::size_t> cache;       // serve: per-worker cache entries
   bool spot_check = false;                // serve: checksum every decode
+  bool fast = false;                      // lquery: zero-copy decode plans
   std::string scheme = "thin-fat";        // serve: which decoder
   std::optional<std::size_t> queue_cap;   // serve: per-worker queue bound
   std::string shed_policy = "reject";     // serve: reject | drop-oldest
@@ -161,6 +162,8 @@ struct Flags {
         f.cache = std::strtoull(value(), nullptr, 10);
       } else if (key == "--spot-check") {
         f.spot_check = true;
+      } else if (key == "--fast") {
+        f.fast = true;
       } else if (key == "--scheme") {
         f.scheme = value();
       } else if (key == "--queue-cap") {
@@ -368,10 +371,25 @@ int cmd_lquery(int argc, char** argv) {
     std::fprintf(stderr, "label index out of range (store holds %zu)\n", n);
     return 1;
   }
-  const bool adj =
-      store ? thin_fat_adjacent(store->get(u), store->get(v))
-            : thin_fat_adjacent((*fallback)[static_cast<Vertex>(u)],
-                                (*fallback)[static_cast<Vertex>(v)]);
+  bool adj;
+  if (store && f.fast) {
+    // Zero-copy path: parse both labels into decode plans aliasing the
+    // store's packed bits and answer without materializing either label.
+    // Semantically identical to thin_fat_adjacent (the LabelView
+    // contract); exposed as a flag so scripts can smoke-test the fast
+    // decoder against the default path on the same store.
+    const LabelView va = LabelView::parse(
+        store->bits_data(), store->bit_offset(u),
+        static_cast<std::uint64_t>(store->size_bits(u)));
+    const LabelView vb = LabelView::parse(
+        store->bits_data(), store->bit_offset(v),
+        static_cast<std::uint64_t>(store->size_bits(v)));
+    adj = label_view_adjacent(va, vb);
+  } else {
+    adj = store ? thin_fat_adjacent(store->get(u), store->get(v))
+                : thin_fat_adjacent((*fallback)[static_cast<Vertex>(u)],
+                                    (*fallback)[static_cast<Vertex>(v)]);
+  }
   std::printf("adjacent(%llu, %llu) = %s%s\n",
               static_cast<unsigned long long>(u),
               static_cast<unsigned long long>(v), adj ? "true" : "false",
