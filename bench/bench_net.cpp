@@ -1,0 +1,249 @@
+// E17: TCP serving-plane throughput over loopback (connection sweep).
+//
+// The decode path answers an adjacency query in ~100ns; the question
+// this harness answers is how much of that survives a real network
+// round-trip through the epoll front-end — framing, admission
+// accounting, dispatcher hand-off, and response encoding included.
+//
+//   1. generate a Chung-Lu power-law graph and thin/fat-encode it,
+//   2. build a sharded snapshot + QueryService + in-process NetServer
+//      on an ephemeral loopback port,
+//   3. for each connection count: drive Q queries in pipeline-free
+//      request/response batches of 512 through NetClient, recording
+//      per-batch round-trip latency,
+//   4. verify a query sample against the graph oracle (a benchmark that
+//      serves wrong answers fast is not a benchmark),
+//   5. emit BENCH_net.json, gated in CI by tools/bench_check.py.
+//
+// Usage: bench_net [n] [avg_deg] [queries] [conns,conns,...] [batch]
+//   defaults:      131072  8.0    1000000   1,2,4              2048
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/thin_fat.h"
+#include "gen/chung_lu.h"
+#include "service/engine.h"
+#include "service/frame.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
+#include "service/snapshot.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace plg;
+using namespace plg::service;
+
+struct SweepPoint {
+  unsigned conns = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::vector<unsigned> parse_conns(const char* spec) {
+  std::vector<unsigned> out;
+  const char* p = spec;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) out.push_back(static_cast<unsigned>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) out = {1, 2, 4};
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 131072;
+  const double avg_deg = argc > 2 ? std::strtod(argv[2], nullptr) : 8.0;
+  const std::uint64_t total_queries =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
+  const std::vector<unsigned> conn_counts =
+      parse_conns(argc > 4 ? argv[4] : "1,2,4");
+  const std::size_t kBatch =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2048;
+
+  bench::header("E17: TCP serving plane over loopback");
+
+  Rng rng(bench::kSeed);
+  const Graph g = chung_lu_power_law(n, 2.5, avg_deg, rng);
+  const std::uint64_t tau = 12;
+  const auto enc = thin_fat_encode_parallel(
+      g, tau, std::thread::hardware_concurrency());
+
+  bench::WorkloadInfo wl;
+  wl.model = "chung-lu";
+  wl.n = g.num_vertices();
+  wl.m = g.num_edges();
+  wl.alpha = 2.5;
+  wl.avg_deg = avg_deg;
+  wl.tau = tau;
+  wl.width = id_width(n);
+  wl.num_fat = enc.num_fat;
+  wl.num_thin = enc.num_thin;
+  std::printf("  n=%zu m=%zu fat=%zu thin=%zu width=%d\n", wl.n, wl.m,
+              wl.num_fat, wl.num_thin, wl.width);
+
+  const auto snapshot = Snapshot::build(enc.labeling, 16);
+  QueryService svc(snapshot, {.threads = 2});
+  NetServerOptions nopt;
+  nopt.port = 0;
+  nopt.dispatchers = 2;
+  NetServer server(svc, nopt);
+  server.start();
+  std::printf("  serving on 127.0.0.1:%u\n", server.port());
+
+  // Oracle spot-check through the wire before timing anything.
+  {
+    NetClient c;
+    if (!c.connect(server.port())) {
+      std::fprintf(stderr, "bench_net: cannot connect to own server\n");
+      return 1;
+    }
+    Rng check_rng(7);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> qs(256);
+    for (auto& q : qs) {
+      q.first = check_rng.next_below(n);
+      q.second = check_rng.next_below(n);
+    }
+    NetResponse resp;
+    if (!c.batch(wire::Verb::kAdjBatch, 1, qs, resp) ||
+        resp.payload.size() != qs.size()) {
+      std::fprintf(stderr, "bench_net: oracle batch failed\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const bool expect = g.has_edge(static_cast<Vertex>(qs[i].first),
+                                     static_cast<Vertex>(qs[i].second));
+      const auto code = static_cast<wire::ResultCode>(resp.payload[i]);
+      const bool got = code == wire::ResultCode::kYes;
+      if (got != expect || (code != wire::ResultCode::kYes &&
+                            code != wire::ResultCode::kNo)) {
+        std::fprintf(stderr,
+                     "bench_net: ORACLE MISMATCH at query %zu "
+                     "(u=%" PRIu64 " v=%" PRIu64 " wire=%u graph=%d)\n",
+                     i, qs[i].first, qs[i].second,
+                     static_cast<unsigned>(resp.payload[i]),
+                     expect ? 1 : 0);
+        return 1;
+      }
+    }
+    std::printf("  oracle spot-check: 256/256 correct over the wire\n");
+  }
+
+  std::printf("\n  %8s %10s %12s %10s %10s\n", "conns", "seconds",
+              "queries/s", "p50(us)", "p99(us)");
+  std::vector<SweepPoint> sweep;
+  for (const unsigned conns : conn_counts) {
+    const std::uint64_t per_conn = total_queries / conns;
+    std::vector<bench::LatencySamples> lat(conns);
+    std::vector<char> ok(conns, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < conns; ++t) {
+      threads.emplace_back([&, t] {
+        NetClient c;
+        if (!c.connect(server.port())) {
+          ok[t] = 0;
+          return;
+        }
+        Rng qrng(bench::kSeed + 1000 + t);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> qs(kBatch);
+        std::uint32_t id = 0;
+        for (std::uint64_t done = 0; done < per_conn; done += kBatch) {
+          for (auto& q : qs) {
+            q.first = qrng.next_below(n);
+            q.second = qrng.next_below(n);
+          }
+          const auto b0 = std::chrono::steady_clock::now();
+          NetResponse resp;
+          if (!c.batch(wire::Verb::kAdjBatch, id++, qs, resp) ||
+              resp.payload.size() != qs.size()) {
+            ok[t] = 0;
+            return;
+          }
+          const auto b1 = std::chrono::steady_clock::now();
+          lat[t].record(
+              std::chrono::duration<double, std::nano>(b1 - b0).count());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < conns; ++t) {
+      if (!ok[t]) {
+        std::fprintf(stderr, "bench_net: connection %u failed\n", t);
+        return 1;
+      }
+    }
+
+    SweepPoint pt;
+    pt.conns = conns;
+    pt.seconds = std::chrono::duration<double>(t1 - t0).count();
+    pt.qps = static_cast<double>(per_conn * conns) / pt.seconds;
+    // Worst connection's percentiles: the honest tail under fan-in.
+    for (unsigned t = 0; t < conns; ++t) {
+      pt.p50_us = std::max(pt.p50_us, lat[t].p50() / 1000.0);
+      pt.p99_us = std::max(pt.p99_us, lat[t].p99() / 1000.0);
+    }
+    std::printf("  %8u %10.3f %12.0f %10.1f %10.1f\n", pt.conns,
+                pt.seconds, pt.qps, pt.p50_us, pt.p99_us);
+    sweep.push_back(pt);
+  }
+  double peak_qps = 0.0;
+  for (const SweepPoint& pt : sweep) peak_qps = std::max(peak_qps, pt.qps);
+
+  server.stop();
+  server.join();
+  const NetCounters& net = server.net_counters();
+  std::printf("\n  peak=%.0f qps; frames=%" PRIu64 "/%" PRIu64
+              " protocol_errors=%" PRIu64 "\n",
+              peak_qps, net.frames_in.load(), net.frames_out.load(),
+              net.protocol_errors.load());
+
+  const char* out_path = "BENCH_net.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(f,
+                 "{\"bench\":\"net\",%s,"
+                 "\"queries\":%" PRIu64 ",\"batch\":%zu,\"sweep\":[",
+                 bench::workload_json(wl).c_str(), total_queries, kBatch);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& pt = sweep[i];
+      std::fprintf(f,
+                   "%s{\"conns\":%u,\"seconds\":%.3f,\"qps\":%.0f,"
+                   "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                   i == 0 ? "" : ",", pt.conns, pt.seconds, pt.qps,
+                   pt.p50_us, pt.p99_us);
+    }
+    std::fprintf(f,
+                 "],\"peak\":{\"qps\":%.0f},"
+                 "\"server\":{\"frames_in\":%" PRIu64
+                 ",\"frames_out\":%" PRIu64 ",\"bytes_in\":%" PRIu64
+                 ",\"bytes_out\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
+                 "}}\n",
+                 peak_qps, net.frames_in.load(), net.frames_out.load(),
+                 net.bytes_in.load(), net.bytes_out.load(),
+                 net.protocol_errors.load());
+    std::fclose(f);
+    std::printf("  wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

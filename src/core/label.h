@@ -28,6 +28,17 @@ class Label {
     return l;
   }
 
+  /// Copies `bits` bits out of a word buffer (e.g. a reused arena
+  /// BitWriter). Unlike from_writer, the source keeps its capacity for
+  /// the next label and the copy is allocated at exact size — no growth
+  /// slack rides along into the immutable label.
+  static Label from_span(const std::uint64_t* words, std::size_t bits) {
+    Label l;
+    l.bits_ = bits;
+    l.words_.assign(words, words + (bits + 63) / 64);
+    return l;
+  }
+
   std::size_t size_bits() const noexcept { return bits_; }
 
   /// A reader positioned at the start of the bit string.

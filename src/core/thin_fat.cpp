@@ -37,13 +37,15 @@ constexpr std::size_t gamma_bits(std::uint64_t x) noexcept {
   return 2 * static_cast<std::size_t>(floor_log2(x)) + 1;
 }
 
-/// Builds one vertex's label. `sorted_ids` is caller-provided scratch so
-/// hot loops stay allocation-free.
+/// Builds one vertex's label. `sorted_ids` and `w` are caller-provided
+/// scratch: the arena BitWriter is cleared (capacity kept) per label, so
+/// an encode loop pays one writer allocation total instead of one per
+/// vertex, and the label copies out at exact size via Label::from_span.
 Label encode_vertex(const Graph& g, Vertex v,
                     const std::vector<bool>& fat_mask,
                     const std::vector<std::uint32_t>& identifier,
                     std::uint32_t k, int width,
-                    std::vector<std::uint32_t>& sorted_ids) {
+                    std::vector<std::uint32_t>& sorted_ids, BitWriter& w) {
   // The label layout is fully determined by (width, fat, deg-or-k), so
   // the final bit length is computable up front: header = gamma(width) +
   // fat bit + width-bit id, then gamma(deg+1) + deg*width for thin
@@ -59,7 +61,7 @@ Label encode_vertex(const Graph& g, Vertex v,
       static_cast<std::size_t>(width) + gamma_bits(payload_items + 1) +
       static_cast<std::size_t>(payload_items) *
           (fat_mask[v] ? 1 : static_cast<std::size_t>(width));
-  BitWriter w;
+  w.clear();
   w.reserve_bits(expected_bits);
   w.write_gamma(static_cast<std::uint64_t>(width));
   const bool fat = fat_mask[v];
@@ -91,7 +93,7 @@ Label encode_vertex(const Graph& g, Vertex v,
     }
   }
   assert(w.size_bits() == expected_bits);
-  return Label::from_writer(std::move(w));
+  return Label::from_span(w.words().data(), w.size_bits());
 }
 
 ThinFatEncoding encode_with_mask(const Graph& g,
@@ -117,9 +119,10 @@ ThinFatEncoding encode_with_mask(const Graph& g,
 
   std::vector<Label> labels(n);
   std::vector<std::uint32_t> sorted_ids;
+  BitWriter arena;
   for (Vertex v = 0; v < n; ++v) {
     labels[v] = encode_vertex(g, v, fat_mask, out.identifier, k, width,
-                              sorted_ids);
+                              sorted_ids, arena);
   }
   out.labeling = Labeling(std::move(labels));
   return out;
@@ -175,9 +178,10 @@ ThinFatEncoding thin_fat_encode_parallel(const Graph& g, std::uint64_t tau,
     const std::size_t end = std::min(n, begin + chunk);
     workers.emplace_back([&, begin, end] {
       std::vector<std::uint32_t> scratch;
+      BitWriter arena;  // per-worker: no cross-thread allocator contention
       for (std::size_t v = begin; v < end; ++v) {
         labels[v] = encode_vertex(g, static_cast<Vertex>(v), fat_mask,
-                                  out.identifier, k, width, scratch);
+                                  out.identifier, k, width, scratch, arena);
       }
     });
   }

@@ -32,6 +32,22 @@ ServiceStats MetricsRegistry::aggregate() const {
   return out;
 }
 
+void ServiceStats::fill_net(const NetCounters& net,
+                            std::uint64_t open_connections) {
+  net_accepted = net.accepted.load(std::memory_order_relaxed);
+  net_rejected_accept = net.rejected_accept.load(std::memory_order_relaxed);
+  net_rejected_admission =
+      net.rejected_admission.load(std::memory_order_relaxed);
+  net_protocol_errors = net.protocol_errors.load(std::memory_order_relaxed);
+  net_timeouts_idle = net.timeouts_idle.load(std::memory_order_relaxed);
+  net_timeouts_write = net.timeouts_write.load(std::memory_order_relaxed);
+  net_frames_in = net.frames_in.load(std::memory_order_relaxed);
+  net_frames_out = net.frames_out.load(std::memory_order_relaxed);
+  net_bytes_in = net.bytes_in.load(std::memory_order_relaxed);
+  net_bytes_out = net.bytes_out.load(std::memory_order_relaxed);
+  net_open_connections = open_connections;
+}
+
 std::uint64_t ServiceStats::latency_quantile_ns(double q) const noexcept {
   std::uint64_t total = 0;
   for (const std::uint64_t c : latency_buckets) total += c;
@@ -50,7 +66,7 @@ std::uint64_t ServiceStats::latency_quantile_ns(double q) const noexcept {
 }
 
 std::string ServiceStats::to_json() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\"workers\":%" PRIu64 ",\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
@@ -62,13 +78,22 @@ std::string ServiceStats::to_json() const {
       ",\"quarantine_hits\":%" PRIu64 ",\"heal_attempts\":%" PRIu64
       ",\"heal_successes\":%" PRIu64 ",\"snapshot\":{\"generation\":%" PRIu64
       ",\"labels\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"shards\":%" PRIu64
-      ",\"quarantined\":%" PRIu64 "},\"latency_ns\":{\"p50\":%" PRIu64
+      ",\"quarantined\":%" PRIu64 "},\"net\":{\"accepted\":%" PRIu64
+      ",\"open\":%" PRIu64 ",\"rejected_accept\":%" PRIu64
+      ",\"rejected_admission\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
+      ",\"timeouts_idle\":%" PRIu64 ",\"timeouts_write\":%" PRIu64
+      ",\"frames_in\":%" PRIu64 ",\"frames_out\":%" PRIu64
+      ",\"bytes_in\":%" PRIu64 ",\"bytes_out\":%" PRIu64
+      "},\"latency_ns\":{\"p50\":%" PRIu64
       ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 "},\"latency_hist\":[",
       workers, queries, batches, positive, view_hits, cache_hits, cache_misses,
       corruptions, range_errors, shed_chunks, shed_queries,
       deadline_exceeded, quarantine_hits, heal_attempts, heal_successes,
       snapshot_generation, snapshot_labels, snapshot_bytes, snapshot_shards,
-      quarantined_shards, latency_quantile_ns(0.50),
+      quarantined_shards, net_accepted, net_open_connections,
+      net_rejected_accept, net_rejected_admission, net_protocol_errors,
+      net_timeouts_idle, net_timeouts_write, net_frames_in, net_frames_out,
+      net_bytes_in, net_bytes_out, latency_quantile_ns(0.50),
       latency_quantile_ns(0.90), latency_quantile_ns(0.99));
   std::string json(buf);
   // Emit the histogram sparsely as [bucket_floor_ns, count] pairs; most of

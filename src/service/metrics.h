@@ -108,6 +108,27 @@ struct SharedCounters {
   std::atomic<std::uint64_t> heal_successes{0};  ///< shards re-admitted
 };
 
+/// Connection-plane counters for the TCP front-end (NetServer). Owned by
+/// the server, not the engine: a stdin-served process has no connection
+/// plane and reports all-zero. Multi-writer relaxed atomics by the same
+/// contract as SharedCounters — bytes_in/out and frame counts are
+/// bumped from the event-loop thread, rejected_admission from whichever
+/// dispatcher hit the full queue, and the stats aggregation may read
+/// concurrently from any thread.
+struct NetCounters {
+  std::atomic<std::uint64_t> accepted{0};        ///< connections admitted
+  std::atomic<std::uint64_t> rejected_accept{0};  ///< closed at accept (caps)
+  std::atomic<std::uint64_t> rejected_admission{0};  ///< frames shed in-band
+  std::atomic<std::uint64_t> protocol_errors{0};  ///< malformed frames
+  std::atomic<std::uint64_t> timeouts_idle{0};    ///< idle-timeout closes
+  std::atomic<std::uint64_t> timeouts_write{0};   ///< write-stall closes
+  std::atomic<std::uint64_t> frames_in{0};        ///< request frames parsed
+  std::atomic<std::uint64_t> frames_out{0};       ///< response frames sent
+  std::atomic<std::uint64_t> bytes_in{0};         ///< socket bytes read
+  std::atomic<std::uint64_t> bytes_out{0};        ///< socket bytes written
+  std::atomic<std::uint64_t> accept_errors{0};    ///< accept() hard errors
+};
+
 /// Plain-value aggregate of every worker slot at one instant.
 struct ServiceStats {
   std::uint64_t workers = 0;
@@ -130,7 +151,25 @@ struct ServiceStats {
   std::uint64_t snapshot_labels = 0;
   std::uint64_t snapshot_bytes = 0;
   std::uint64_t snapshot_shards = 0;
+
+  // Connection-plane totals (all zero unless served over TCP; filled by
+  // NetServer::stats from its NetCounters).
+  std::uint64_t net_accepted = 0;
+  std::uint64_t net_rejected_accept = 0;
+  std::uint64_t net_rejected_admission = 0;
+  std::uint64_t net_protocol_errors = 0;
+  std::uint64_t net_timeouts_idle = 0;
+  std::uint64_t net_timeouts_write = 0;
+  std::uint64_t net_frames_in = 0;
+  std::uint64_t net_frames_out = 0;
+  std::uint64_t net_bytes_in = 0;
+  std::uint64_t net_bytes_out = 0;
+  std::uint64_t net_open_connections = 0;
+
   std::uint64_t latency_buckets[kLatencyBuckets] = {};
+
+  /// Copies one point-in-time read of `net` into the net_* fields.
+  void fill_net(const NetCounters& net, std::uint64_t open_connections);
 
   /// Bucket-resolution quantile: lower bound (ns) of the bucket holding
   /// the q-quantile sample (q in [0,1]). 0 when no samples recorded.

@@ -1,0 +1,155 @@
+// Minimal blocking client for the TCP serving plane's wire protocol.
+//
+// Shared by `plgtool netbench`, the E17 loopback benchmark, and the
+// storm/fuzz tests — every byte a test client emits goes through the
+// same codec (service/frame.h) the server parses, which is what makes
+// the differential fuzz meaningful: a frame the shared builders produce
+// MUST round-trip, and a frame the fuzzer corrupts MUST be rejected.
+//
+// Deliberately synchronous (connect / send / await response): hostile
+// concurrency lives in the *server*; clients stay simple enough to be
+// obviously-correct oracles. All I/O runs through util::io_retry
+// helpers, so EINTR and short counts are handled, and send uses
+// MSG_NOSIGNAL so a server-side close mid-test fails the call instead
+// of killing the test runner with SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/frame.h"
+#include "util/io_retry.h"
+
+namespace plg::service {
+
+/// One decoded response frame.
+struct NetResponse {
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  NetClient& operator=(NetClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Blocking connect to 127.0.0.1:port. False on any failure.
+  bool connect(std::uint16_t port, const std::string& host = "127.0.0.1") {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  void close() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Sends raw bytes (a frame, several pipelined frames, or — for the
+  /// fuzzer — deliberately broken garbage).
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t put = 0;
+    while (put < bytes.size()) {
+      std::size_t step = 0;
+      const util::IoStatus s =
+          util::io_send(fd_, bytes.data() + put, bytes.size() - put, &step);
+      if (s != util::IoStatus::kOk) return false;
+      put += step;
+    }
+    return true;
+  }
+
+  /// Reads one complete response frame. False on EOF / error / a frame
+  /// the response codec rejects. `max_payload` bounds what this client
+  /// is willing to buffer — same defensive rule as the server.
+  bool read_response(NetResponse& out,
+                     std::size_t max_payload = std::size_t{1} << 20) {
+    std::uint8_t hdr_bytes[wire::kHeaderSize];
+    if (!util::io_read_full(fd_, hdr_bytes, wire::kHeaderSize)) return false;
+    const wire::HeaderError err =
+        wire::decode_header(hdr_bytes, wire::kHeaderSize, max_payload,
+                            out.header, /*require_request=*/false);
+    if (err != wire::HeaderError::kOk) return false;
+    out.payload.assign(out.header.length, 0);
+    if (out.header.length > 0 &&
+        !util::io_read_full(fd_, out.payload.data(), out.payload.size())) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Round-trips one adjacency/distance batch. Returns false on any
+  /// transport failure; a server-side error frame is surfaced through
+  /// `out.header` (verb kError) for the caller to inspect.
+  bool batch(wire::Verb verb, std::uint32_t request_id,
+             const std::vector<std::pair<std::uint64_t, std::uint64_t>>& qs,
+             NetResponse& out) {
+    std::vector<std::uint8_t> frame;
+    wire::put_batch_request(frame, verb, request_id, qs.data(), qs.size());
+    return send_bytes(frame) && read_response(out);
+  }
+
+  bool ping(std::uint32_t request_id, NetResponse& out) {
+    std::vector<std::uint8_t> frame;
+    wire::put_empty_request(frame, wire::Verb::kPing, request_id);
+    return send_bytes(frame) && read_response(out);
+  }
+
+  /// Fetches the server's one-line JSON stats report.
+  bool stats_json(std::uint32_t request_id, std::string& out) {
+    std::vector<std::uint8_t> frame;
+    wire::put_empty_request(frame, wire::Verb::kStats, request_id);
+    NetResponse resp;
+    if (!send_bytes(frame) || !read_response(resp)) return false;
+    if (resp.header.verb != wire::Verb::kStats) return false;
+    out.assign(resp.payload.begin(), resp.payload.end());
+    return true;
+  }
+
+  bool set_deadline(std::uint32_t request_id, std::uint32_t ms,
+                    NetResponse& out) {
+    std::vector<std::uint8_t> frame;
+    wire::put_deadline_request(frame, request_id, ms);
+    return send_bytes(frame) && read_response(out);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace plg::service

@@ -1,0 +1,107 @@
+// Hashed timing wheel for connection timeouts (slowloris defense).
+//
+// The serving plane needs two timeouts per connection — idle (no bytes
+// arriving) and write-stall (peer not draining its responses) — across
+// thousands of connections, with O(1) arm/re-arm. A heap-based timer
+// queue costs O(log n) per operation and, worse, needs explicit cancel
+// on every byte of progress. A hashed wheel makes the common case (the
+// timer does NOT fire) free: entries are dropped into slot
+// (tick & mask) and only examined when the wheel sweeps past them.
+//
+// Lazy invalidation instead of cancel: the wheel never removes an entry
+// early. Each entry carries the (id, deadline_tick) it was armed with;
+// on expiry the owner decides — via the callback's return value —
+// whether the entry is still live:
+//
+//   * return 0                 — entry is stale (connection closed, or
+//                                activity moved the real deadline; the
+//                                owner re-armed a fresh entry already or
+//                                will) -> dropped.
+//   * return t > now           — deadline postponed (activity since the
+//                                arm); the wheel re-inserts at t.
+//
+// The owner keeps ONE source of truth (the connection's actual deadline
+// tick) and the wheel holds at most a few entries per connection —
+// stale entries cost one callback on sweep, never a scan. This is the
+// standard kernel-style wheel trade: O(1) arm, O(slots touched) sweep,
+// zero cancel bookkeeping on the hot path.
+//
+// Threading: not thread-safe by design — the event loop owns the wheel
+// and is the only caller. Single-threaded by construction, like all
+// per-connection state in NetServer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace plg::service {
+
+class TimerWheel {
+ public:
+  /// `slots` is rounded up to a power of two (>= 8). One slot per tick;
+  /// entries further than `slots` ticks out simply wrap and are re-
+  /// examined (and re-inserted) when the sweep reaches them — correct,
+  /// just one extra callback per wrap.
+  explicit TimerWheel(std::size_t slots = 256) {
+    std::size_t cap = 8;
+    while (cap < slots) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  /// Arms (id, deadline_tick). Multiple arms for one id are fine — stale
+  /// ones are dropped by the expiry callback contract above.
+  void schedule(std::uint64_t id, std::uint64_t deadline_tick) {
+    slots_[deadline_tick & (slots_.size() - 1)].push_back(
+        Entry{id, deadline_tick});
+    ++armed_;
+  }
+
+  /// Sweeps every tick in (last_advance, now]. For each entry whose
+  /// deadline_tick has been reached, calls `expire(id, deadline_tick)`;
+  /// the return value re-arms the entry (see the contract above).
+  /// Entries in swept slots whose deadline lies in a later wheel
+  /// revolution are kept in place untouched.
+  template <typename ExpireFn>
+  void advance(std::uint64_t now, ExpireFn&& expire) {
+    if (now <= last_) return;
+    // A sweep longer than one revolution would visit slots twice;
+    // clamp — every slot is examined exactly once per revolution.
+    const std::uint64_t from = (now - last_ > slots_.size())
+                                   ? now - slots_.size() + 1
+                                   : last_ + 1;
+    for (std::uint64_t t = from; t <= now; ++t) {
+      auto& slot = slots_[t & (slots_.size() - 1)];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        Entry e = slot[i];
+        if (e.tick > now) {
+          slot[kept++] = e;  // future revolution; keep in place
+          continue;
+        }
+        --armed_;
+        const std::uint64_t again =
+            expire(e.id, e.tick);  // 0 = drop, >now = re-arm
+        if (again > now) schedule(e.id, again);
+      }
+      slot.resize(kept);
+    }
+    last_ = now;
+  }
+
+  /// Entries currently armed (including stale ones awaiting sweep).
+  std::size_t armed() const noexcept { return armed_; }
+  std::size_t num_slots() const noexcept { return slots_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t tick;
+  };
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t last_ = 0;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace plg::service

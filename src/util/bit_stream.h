@@ -41,6 +41,14 @@ class BitWriter {
   /// repeated reallocation.
   void reserve_bits(std::size_t bits) { words_.reserve((bits + 63) / 64); }
 
+  /// Resets to an empty stream but keeps the backing capacity, so one
+  /// writer can serve as a per-worker arena across many labels without
+  /// re-allocating per label.
+  void clear() noexcept {
+    words_.clear();
+    bits_ = 0;
+  }
+
   /// Number of bits written so far.
   [[nodiscard]] std::size_t size_bits() const noexcept { return bits_; }
 

@@ -31,10 +31,16 @@ FaultPlan g_plan;
 std::atomic<std::uint64_t> g_stall_calls{0};
 std::atomic<std::uint64_t> g_shard_calls{0};
 std::atomic<std::uint64_t> g_query_calls{0};
+std::atomic<std::uint64_t> g_accept_calls{0};
+std::atomic<std::uint64_t> g_net_read_calls{0};
+std::atomic<std::uint64_t> g_net_write_calls{0};
 std::atomic<std::uint64_t> g_budget_used{0};
 std::atomic<std::uint64_t> g_injected_stalls{0};
 std::atomic<std::uint64_t> g_injected_shard_fails{0};
 std::atomic<std::uint64_t> g_injected_query_fails{0};
+std::atomic<std::uint64_t> g_injected_accept_fails{0};
+std::atomic<std::uint64_t> g_injected_wire_flips{0};
+std::atomic<std::uint64_t> g_injected_short_writes{0};
 
 /// Claims one unit of the plan's shared fault budget. True = the fault
 /// may fire. With no budget configured every claim succeeds.
@@ -90,6 +96,12 @@ FaultPlan FaultPlan::parse_spec(const std::string& spec) {
       plan.shard_fail_every = v;
     } else if (key == "query-fail") {
       plan.query_fail_every = v;
+    } else if (key == "accept-fail") {
+      plan.accept_fail_every = v;
+    } else if (key == "wire-flip") {
+      plan.wire_flip_every = v;
+    } else if (key == "wire-short") {
+      plan.wire_short_every = v;
     } else if (key == "budget") {
       plan.fault_budget = v;
     } else {
@@ -104,10 +116,16 @@ void enable(const FaultPlan& plan) {
   g_stall_calls.store(0, std::memory_order_relaxed);
   g_shard_calls.store(0, std::memory_order_relaxed);
   g_query_calls.store(0, std::memory_order_relaxed);
+  g_accept_calls.store(0, std::memory_order_relaxed);
+  g_net_read_calls.store(0, std::memory_order_relaxed);
+  g_net_write_calls.store(0, std::memory_order_relaxed);
   g_budget_used.store(0, std::memory_order_relaxed);
   g_injected_stalls.store(0, std::memory_order_relaxed);
   g_injected_shard_fails.store(0, std::memory_order_relaxed);
   g_injected_query_fails.store(0, std::memory_order_relaxed);
+  g_injected_accept_fails.store(0, std::memory_order_relaxed);
+  g_injected_wire_flips.store(0, std::memory_order_relaxed);
+  g_injected_short_writes.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_release);
 }
 
@@ -184,11 +202,48 @@ bool should_fail_query() noexcept {
   return true;
 }
 
+bool should_fail_accept() noexcept {
+  if (!enabled() || g_plan.accept_fail_every == 0) return false;
+  const std::uint64_t n =
+      g_accept_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.accept_fail_every != 0) return false;
+  if (!claim_budget()) return false;
+  g_injected_accept_fails.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void on_net_read(std::uint8_t* data, std::size_t n) noexcept {
+  if (!enabled() || g_plan.wire_flip_every == 0 || n == 0) return;
+  const std::uint64_t call =
+      g_net_read_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((call + 1) % g_plan.wire_flip_every != 0) return;
+  if (!claim_budget()) return;
+  // One byte, position a pure function of (seed, injection ordinal) —
+  // the same plan corrupts the same relative reads every run.
+  const std::uint64_t ordinal =
+      g_injected_wire_flips.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t state = g_plan.seed ^ (ordinal * 0x9E3779B97F4A7C15ull);
+  data[splitmix64(state) % n] ^= 0xA5;
+}
+
+std::size_t clamp_net_write(std::size_t n) noexcept {
+  if (!enabled() || g_plan.wire_short_every == 0 || n <= 1) return n;
+  const std::uint64_t call =
+      g_net_write_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((call + 1) % g_plan.wire_short_every != 0) return n;
+  if (!claim_budget()) return n;
+  g_injected_short_writes.fetch_add(1, std::memory_order_relaxed);
+  return 1;
+}
+
 ServiceFaultCounters service_fault_counters() noexcept {
   ServiceFaultCounters c;
   c.stalls = g_injected_stalls.load(std::memory_order_relaxed);
   c.shard_fails = g_injected_shard_fails.load(std::memory_order_relaxed);
   c.query_fails = g_injected_query_fails.load(std::memory_order_relaxed);
+  c.accept_fails = g_injected_accept_fails.load(std::memory_order_relaxed);
+  c.wire_flips = g_injected_wire_flips.load(std::memory_order_relaxed);
+  c.short_writes = g_injected_short_writes.load(std::memory_order_relaxed);
   return c;
 }
 

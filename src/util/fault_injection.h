@@ -86,15 +86,35 @@ struct FaultPlan {
   /// exercises the runtime quarantine threshold).
   std::uint64_t query_fail_every = 0;
 
+  // --- socket-level faults (the TCP serving plane's chaos hooks) ---
+
+  /// When k > 0, every k-th accept() is artificially failed: the freshly
+  /// accepted connection is closed before registration (exercises the
+  /// accept-error path and client retry behavior).
+  std::uint64_t accept_fail_every = 0;
+
+  /// When k > 0, every k-th successful socket read has one
+  /// seed-determined byte XOR-flipped in place (on-the-wire corruption;
+  /// exercises the protocol-error reject path — a flipped frame must be
+  /// answered with an error frame or a close, never a crash).
+  std::uint64_t wire_flip_every = 0;
+
+  /// When k > 0, every k-th socket write is clamped to one byte (a
+  /// deterministic short write / stalled peer; exercises partial-write
+  /// resume and the write-stall timeout machinery).
+  std::uint64_t wire_short_every = 0;
+
   /// Total cap on injected *service* faults (stalls + shard fails +
-  /// query fails). Unset = unlimited. A finite budget lets a chaos test
-  /// storm deterministically and then watch the system heal without
+  /// query fails + accept fails + wire flips + short writes). Unset =
+  /// unlimited. A finite budget lets a chaos test storm
+  /// deterministically and then watch the system heal without
   /// reconfiguring the plan mid-run.
   std::optional<std::uint64_t> fault_budget;
 
   /// Parses a "key=value,key=value" spec, e.g.
   ///   "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,alloc-cap=1048576"
   ///   ",stall-every=5,stall-ms=2,shard-fail=3,query-fail=7,budget=200"
+  ///   ",accept-fail=5,wire-flip=9,wire-short=4"
   /// Unknown keys or malformed values throw std::invalid_argument.
   static FaultPlan parse_spec(const std::string& spec);
 };
@@ -104,8 +124,12 @@ struct ServiceFaultCounters {
   std::uint64_t stalls = 0;
   std::uint64_t shard_fails = 0;
   std::uint64_t query_fails = 0;
+  std::uint64_t accept_fails = 0;
+  std::uint64_t wire_flips = 0;
+  std::uint64_t short_writes = 0;
   std::uint64_t total() const noexcept {
-    return stalls + shard_fails + query_fails;
+    return stalls + shard_fails + query_fails + accept_fails + wire_flips +
+           short_writes;
   }
 };
 
@@ -182,6 +206,22 @@ bool on_shard_admission(std::vector<std::uint8_t>& blob) noexcept;
 /// Called by the engine before fetching a label. True means the fetch
 /// must be treated as a decode failure (answered kCorrupt in-band).
 bool should_fail_query() noexcept;
+
+/// Called by the TCP server after accept() succeeds. True means the
+/// server must close the connection immediately (injected accept
+/// failure).
+bool should_fail_accept() noexcept;
+
+/// Called by the TCP server after each successful socket read. When the
+/// plan says this read is corrupted, XOR-flips one seed-determined byte
+/// of `data[0..n)` in place (deterministic on-the-wire damage).
+void on_net_read(std::uint8_t* data, std::size_t n) noexcept;
+
+/// Called by the TCP server before each socket write of `n` bytes.
+/// Returns the byte count actually allowed (n normally; 1 on an
+/// injected short write) — the server writes at most that many, leaving
+/// the rest buffered exactly as a stalled peer would.
+std::size_t clamp_net_write(std::size_t n) noexcept;
 
 /// Totals injected since the last enable(). Safe to call any time.
 ServiceFaultCounters service_fault_counters() noexcept;

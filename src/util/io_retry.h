@@ -1,0 +1,124 @@
+// EINTR-safe POSIX I/O helpers shared by the network serving plane.
+//
+// Project-wide audit of raw-I/O call sites (the rule these helpers
+// enforce going forward):
+//
+//   * Every `read`/`write`/`accept` on a file descriptor MUST handle
+//     (a) EINTR — retried here, in one place, never ad hoc; (b) short
+//     counts — a successful read/write of fewer bytes than requested is
+//     normal on sockets and pipes and must advance, not error; and
+//     (c) EAGAIN/EWOULDBLOCK on non-blocking fds — surfaced as a
+//     distinct outcome so event loops can re-arm instead of spin.
+//   * iostream-based sites (graph/io.cpp, core/label_store.cpp save
+//     paths, the stdin serve loop) delegate short-count handling to the
+//     C++ stream layer, which loops internally and reports failure via
+//     stream state — those sites are audited as correct and are NOT
+//     ported to these helpers. One deliberate exception: `plgtool serve`
+//     installs its signal handlers WITHOUT SA_RESTART, so a SIGTERM can
+//     fail an in-flight std::cin read with EINTR; the loop treats the
+//     failed stream as EOF, which is exactly the graceful-drain path.
+//
+// All helpers are signal-safe (no allocation, no errno clobbering
+// beyond the call) and usable from both blocking and non-blocking fds.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace plg::util {
+
+/// Outcome of one non-blocking I/O attempt.
+enum class IoStatus : std::uint8_t {
+  kOk,        ///< >= 1 byte transferred (count in *done)
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — re-arm and retry later
+  kEof,       ///< read: orderly peer close (read() returned 0)
+  kError,     ///< hard error (errno preserved for the caller)
+};
+
+/// read() with EINTR retry. Short reads are success: *done receives the
+/// byte count actually read (>= 1 on kOk).
+inline IoStatus io_read(int fd, void* buf, std::size_t n,
+                        std::size_t* done) noexcept {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r > 0) {
+      *done = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+/// write() with EINTR retry. Short writes are success: *done receives
+/// the byte count actually written (>= 1 on kOk); callers advance their
+/// cursor and come back (an event loop re-arms on kWouldBlock instead).
+inline IoStatus io_write(int fd, const void* buf, std::size_t n,
+                         std::size_t* done) noexcept {
+  for (;;) {
+    const ssize_t r = ::write(fd, buf, n);
+    if (r >= 0) {
+      *done = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+/// io_write for sockets: send() with MSG_NOSIGNAL, so a peer that
+/// vanished mid-write yields kError (EPIPE) instead of killing the
+/// process with SIGPIPE. Event-loop servers use this; write() is kept
+/// for pipes/files where MSG_NOSIGNAL does not apply.
+inline IoStatus io_send(int fd, const void* buf, std::size_t n,
+                        std::size_t* done) noexcept {
+  for (;;) {
+    const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r >= 0) {
+      *done = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+/// Blocking-fd convenience: reads until exactly `n` bytes, EOF, or a
+/// hard error. Returns true iff all n bytes arrived. Short counts from
+/// the kernel are looped here — callers never see a partial fill as
+/// success. (Clients — netbench, test harnesses — use this; the server's
+/// event loop uses io_read directly, one syscall per readiness.)
+inline bool io_read_full(int fd, void* buf, std::size_t n) noexcept {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    std::size_t step = 0;
+    const IoStatus s = io_read(fd, p + got, n - got, &step);
+    if (s != IoStatus::kOk) return false;  // EOF / error mid-record
+    got += step;
+  }
+  return true;
+}
+
+/// Blocking-fd convenience: writes all `n` bytes or reports failure.
+inline bool io_write_all(int fd, const void* buf, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    std::size_t step = 0;
+    const IoStatus s = io_write(fd, p + put, n - put, &step);
+    if (s != IoStatus::kOk) return false;
+    put += step;
+  }
+  return true;
+}
+
+}  // namespace plg::util

@@ -38,6 +38,17 @@
 //       chunks); a full queue load-sheds per --shed-policy and the shed
 //       queries answer "overloaded" in-band. EOF, SIGINT, and SIGTERM
 //       drain in-flight batches and flush a final STATS line.
+//       With --tcp <port> the same engine is served over the binary
+//       length-prefixed TCP protocol instead (src/service/frame.h):
+//       epoll front-end, per-connection backpressure, idle/write-stall
+//       timeouts, in-band overload shedding. Port 0 picks an ephemeral
+//       port (printed to stderr). --max-conns, --idle-ms, --stall-ms,
+//       --dispatchers, --dispatch-queue tune the connection plane.
+//   plgtool netbench <host:port|port> [--conns N] [--batch B] [--count Q]
+//                    [--scheme thin-fat|distance] [--seed S]
+//       loopback load generator for a --tcp server: N concurrent
+//       connections send Q total queries in batches of B, then print a
+//       one-line JSON report (QPS, p50/p99 batch latency).
 //   plgtool stats <labels.plgl>
 //       one-line JSON observability report for a store: integrity
 //       verdict, label count/bytes, label-size distribution, fat/thin
@@ -51,6 +62,7 @@
 // the persistence layer's failure contract.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -59,10 +71,14 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "plg.h"
 #include "service/engine.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
 #include "service/serve.h"
 #include "service/snapshot.h"
 
@@ -90,6 +106,10 @@ using namespace plg;
                "[--batch B] [--cache C] [--spot-check] "
                "[--scheme thin-fat|distance] [--strict|--lenient] "
                "[--queue-cap N] [--shed-policy reject|drop-oldest]\n"
+               "                [--tcp PORT] [--max-conns N] [--idle-ms MS] "
+               "[--stall-ms MS] [--dispatchers N] [--dispatch-queue N]\n"
+               "  plgtool netbench <port> [--conns N] [--batch B] "
+               "[--count Q] [--scheme thin-fat|distance] [--seed S]\n"
                "  plgtool stats <labels.plgl>\n"
                "(all commands: [--fault <spec>] injects deterministic I/O "
                "faults)\n");
@@ -118,6 +138,14 @@ struct Flags {
   std::string scheme = "thin-fat";        // serve: which decoder
   std::optional<std::size_t> queue_cap;   // serve: per-worker queue bound
   std::string shed_policy = "reject";     // serve: reject | drop-oldest
+  std::optional<int> tcp;                 // serve: TCP port (0 = ephemeral)
+  std::optional<std::size_t> max_conns;   // serve: connection cap
+  std::optional<std::uint32_t> idle_ms;   // serve: idle timeout
+  std::optional<std::uint32_t> stall_ms;  // serve: write-stall timeout
+  std::optional<unsigned> dispatchers;    // serve: dispatcher threads
+  std::optional<std::size_t> dispatch_queue;  // serve: admission queue cap
+  std::optional<std::size_t> conns;       // netbench: client connections
+  std::optional<std::uint64_t> count;     // netbench: total queries
 
   static Flags parse(int argc, char** argv, int first) {
     Flags f;
@@ -170,6 +198,25 @@ struct Flags {
         f.queue_cap = std::strtoull(value(), nullptr, 10);
       } else if (key == "--shed-policy") {
         f.shed_policy = value();
+      } else if (key == "--tcp") {
+        f.tcp = static_cast<int>(std::strtol(value(), nullptr, 10));
+      } else if (key == "--max-conns") {
+        f.max_conns = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--idle-ms") {
+        f.idle_ms =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--stall-ms") {
+        f.stall_ms =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--dispatchers") {
+        f.dispatchers =
+            static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--dispatch-queue") {
+        f.dispatch_queue = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--conns") {
+        f.conns = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--count") {
+        f.count = std::strtoull(value(), nullptr, 10);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
         usage();
@@ -496,6 +543,27 @@ int cmd_serve(int argc, char** argv) {
                svc.threads());
 
   install_serve_signals();
+
+  if (f.tcp) {
+    service::NetServerOptions nopt;
+    nopt.port = static_cast<std::uint16_t>(*f.tcp);
+    if (f.max_conns) nopt.max_connections = *f.max_conns;
+    if (f.idle_ms) nopt.idle_timeout_ms = *f.idle_ms;
+    if (f.stall_ms) nopt.write_stall_timeout_ms = *f.stall_ms;
+    if (f.dispatchers) nopt.dispatchers = *f.dispatchers;
+    if (f.dispatch_queue) nopt.dispatch_queue_cap = *f.dispatch_queue;
+    nopt.stop = &g_serve_stop;
+    service::NetServer server(svc, nopt);
+    std::fprintf(stderr, "listening on %s:%u (binary frame protocol v%u)\n",
+                 nopt.bind_address.c_str(), server.port(),
+                 service::wire::kWireVersion);
+    server.start();
+    server.join();  // returns after SIGINT/SIGTERM drains the plane
+    std::fprintf(stderr, "final stats: %s\n",
+                 server.stats().to_json().c_str());
+    return 0;
+  }
+
   service::ServeOptions sopt;
   sopt.num_shards = shards;
   sopt.verify = verify;
@@ -505,6 +573,113 @@ int cmd_serve(int argc, char** argv) {
   std::fprintf(stderr, "served %llu queries; final stats: %s\n",
                static_cast<unsigned long long>(answered),
                svc.stats().to_json().c_str());
+  return 0;
+}
+
+// --------------------------------------------------------------- netbench
+
+/// Loopback load generator for a `serve --tcp` process. Each connection
+/// thread round-trips batches of random (u,v) pairs and records the
+/// batch latency; the report aggregates throughput and tail latency.
+int cmd_netbench(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(std::strtoul(argv[2], nullptr, 10));
+  const Flags f = Flags::parse(argc, argv, 3);
+  const std::size_t conns = std::max<std::size_t>(1, f.conns.value_or(4));
+  const std::size_t batch = std::max<std::size_t>(1, f.batch.value_or(512));
+  const std::uint64_t total = f.count.value_or(200'000);
+  const service::wire::Verb verb = f.scheme == "distance"
+                                       ? service::wire::Verb::kDistBatch
+                                       : service::wire::Verb::kAdjBatch;
+
+  // Learn the id space from the server so queries hit real labels.
+  std::uint64_t num_labels = 0;
+  {
+    service::NetClient probe;
+    if (!probe.connect(port)) {
+      std::fprintf(stderr, "netbench: cannot connect to port %u\n", port);
+      return 2;
+    }
+    std::string json;
+    if (probe.stats_json(1, json)) {
+      const std::size_t at = json.find("\"labels\":");
+      if (at != std::string::npos) {
+        num_labels = std::strtoull(json.c_str() + at + 9, nullptr, 10);
+      }
+    }
+  }
+  if (num_labels == 0) num_labels = 1;
+
+  const std::uint64_t per_conn = (total + conns - 1) / conns;
+  std::vector<std::vector<double>> lat_us(conns);
+  std::vector<std::uint64_t> answered(conns, 0);
+  std::atomic<bool> failed{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (std::size_t t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(f.seed + t);
+      service::NetClient client;
+      if (!client.connect(port)) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> qs(batch);
+      std::uint64_t sent = 0;
+      std::uint32_t request_id = 1;
+      while (sent < per_conn) {
+        const std::size_t n =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                batch, per_conn - sent));
+        qs.resize(n);
+        for (auto& q : qs) {
+          q.first = rng.next_below(num_labels);
+          q.second = rng.next_below(num_labels);
+        }
+        const auto b0 = std::chrono::steady_clock::now();
+        service::NetResponse resp;
+        if (!client.batch(verb, request_id++, qs, resp) ||
+            resp.header.verb == service::wire::Verb::kError) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const auto b1 = std::chrono::steady_clock::now();
+        lat_us[t].push_back(
+            std::chrono::duration<double, std::micro>(b1 - b0).count());
+        sent += n;
+        answered[t] += n;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "netbench: a connection failed mid-run\n");
+    return 1;
+  }
+  std::vector<double> all;
+  for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const auto quantile = [&](double q) {
+    if (all.empty()) return 0.0;
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(all.size() - 1));
+    return all[i];
+  };
+  std::uint64_t queries = 0;
+  for (const std::uint64_t a : answered) queries += a;
+  std::printf(
+      "{\"conns\":%zu,\"batch\":%zu,\"queries\":%llu,\"seconds\":%.3f,"
+      "\"qps\":%.0f,\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
+      conns, batch, static_cast<unsigned long long>(queries), seconds,
+      seconds > 0 ? static_cast<double>(queries) / seconds : 0.0,
+      quantile(0.50), quantile(0.99));
   return 0;
 }
 
@@ -580,6 +755,7 @@ int main(int argc, char** argv) {
     if (cmd == "lquery") return cmd_lquery(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "netbench") return cmd_netbench(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
   } catch (const std::exception& e) {
     // Exit 2 keeps errors distinct from query/lquery/verify's "no" (exit 1).
