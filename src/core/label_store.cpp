@@ -47,26 +47,6 @@ T read_at(const std::vector<std::uint8_t>& blob, std::size_t& pos) {
   return value;
 }
 
-/// Canonical per-label checksum: CRC-32C over (size_bits, zero-padded
-/// words), folded to 8 bits. Canonicalizing through a reader loop makes
-/// the sum independent of any stale bits past size_bits in the source.
-std::uint8_t label_checksum(const Label& l) {
-  BitWriter canon;
-  BitReader r = l.reader();
-  std::size_t remaining = l.size_bits();
-  while (remaining > 0) {
-    const int chunk = static_cast<int>(std::min<std::size_t>(64, remaining));
-    canon.write_bits(r.read_bits(chunk), chunk);
-    remaining -= static_cast<std::size_t>(chunk);
-  }
-  const std::uint64_t bits = l.size_bits();
-  std::uint32_t crc = crc32c(&bits, sizeof(bits));
-  crc = crc32c(canon.words().data(), canon.words().size() * sizeof(std::uint64_t),
-               crc);
-  return static_cast<std::uint8_t>(crc ^ (crc >> 8) ^ (crc >> 16) ^
-                                   (crc >> 24));
-}
-
 void pack_labels(const Labeling& labeling, BitWriter& packed) {
   for (const Label& l : labeling.labels()) {
     BitReader r = l.reader();
@@ -80,6 +60,25 @@ void pack_labels(const Labeling& labeling, BitWriter& packed) {
 }
 
 }  // namespace
+
+// Canonicalizing through a reader loop makes the sum independent of any
+// stale bits past size_bits in the source buffer.
+std::uint8_t label_spot_checksum(const Label& l) {
+  BitWriter canon;
+  BitReader r = l.reader();
+  std::size_t remaining = l.size_bits();
+  while (remaining > 0) {
+    const int chunk = static_cast<int>(std::min<std::size_t>(64, remaining));
+    canon.write_bits(r.read_bits(chunk), chunk);
+    remaining -= static_cast<std::size_t>(chunk);
+  }
+  const std::uint64_t bits = l.size_bits();
+  std::uint32_t crc = crc32c(&bits, sizeof(bits));
+  crc = crc32c(canon.words().data(),
+               canon.words().size() * sizeof(std::uint64_t), crc);
+  return static_cast<std::uint8_t>(crc ^ (crc >> 8) ^ (crc >> 16) ^
+                                   (crc >> 24));
+}
 
 std::vector<std::uint8_t> LabelStore::serialize(const Labeling& labeling) {
   const auto n = static_cast<std::uint64_t>(labeling.size());
@@ -107,7 +106,7 @@ std::vector<std::uint8_t> LabelStore::serialize(const Labeling& labeling) {
     append(out, offset);
   }
   const std::size_t labelsums_start = out.size();
-  for (const Label& l : labeling.labels()) append(out, label_checksum(l));
+  for (const Label& l : labeling.labels()) append(out, label_spot_checksum(l));
 
   const std::size_t bits_start = out.size();
   BitWriter packed;
@@ -148,6 +147,13 @@ LabelStore LabelStore::parse(std::vector<std::uint8_t> blob,
     throw DecodeError("LabelStore: bad magic");
   }
   const auto version = read_at<std::uint32_t>(blob, pos);
+  if (version == 3) {
+    // The sharded v3 layout is mmap-native and deliberately not parsed
+    // into heap vectors; point callers at the reader that serves it.
+    throw DecodeError(
+        "LabelStore: version 3 store — open via store::MappedStore "
+        "(Snapshot::from_file and plgtool handle this automatically)");
+  }
   if (version != kVersionV1 && version != kVersionV2) {
     throw DecodeError("LabelStore: unsupported version " +
                       std::to_string(version));
@@ -331,7 +337,7 @@ bool LabelStore::verify_label(std::size_t i) const {
     throw DecodeError("LabelStore: label index out of range");
   }
   if (labelsums_.empty()) return true;  // v1 store: nothing persisted
-  return label_checksum(get(i)) == labelsums_[i];
+  return label_spot_checksum(get(i)) == labelsums_[i];
 }
 
 Labeling LabelStore::load_all() const {

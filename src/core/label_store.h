@@ -67,6 +67,13 @@ struct StoreCheckResult {
   std::string message;         // human-readable diagnosis
 };
 
+/// Canonical per-label spot checksum: CRC-32C over (size_bits,
+/// canonically re-packed words), folded to 8 bits. Shared by the v2
+/// store's labelsums section and the sharded v3 layout
+/// (store/store_writer.h), so the two formats agree on what "this label
+/// is intact" means and a pack migration preserves every sum.
+std::uint8_t label_spot_checksum(const Label& l);
+
 class LabelStore {
  public:
   /// Serializes a labeling into a fresh v2 blob (checksummed).
@@ -110,6 +117,13 @@ class LabelStore {
   /// words are immutable after parse (same contract as get()).
   const std::uint64_t* bits_data() const noexcept { return bits_.data(); }
   std::uint64_t bit_offset(std::size_t i) const { return offsets_[i]; }
+
+  /// The full cumulative offset table (n+1 entries), for plan builders
+  /// that walk a whole store (store/plan_builder.h). Same lifetime and
+  /// immutability contract as bits_data().
+  const std::uint64_t* offsets_data() const noexcept {
+    return offsets_.data();
+  }
 
   /// Spot-check: re-derives label i's checksum and compares it against the
   /// stored per-label sum. Always true for v1 stores (no sums persisted).

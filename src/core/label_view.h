@@ -82,6 +82,17 @@ class LabelView {
   /// Thin: neighbor list verified nondecreasing at parse. Fat: true.
   [[nodiscard]] bool sorted() const noexcept { return sorted_; }
 
+  /// True when the two plans decode identically: every parsed field
+  /// agrees except the storage pointer (two views over different copies
+  /// of the same bits — e.g. serial vs parallel admission, or heap vs
+  /// mmap backing — compare equal). Invalid views compare equal to each
+  /// other.
+  [[nodiscard]] bool plan_equals(const LabelView& o) const noexcept {
+    return payload_ == o.payload_ && end_ == o.end_ && id_ == o.id_ &&
+           count_ == o.count_ && width_ == o.width_ && fat_ == o.fat_ &&
+           complete_ == o.complete_ && sorted_ == o.sorted_;
+  }
+
  private:
   friend bool label_view_adjacent(const LabelView& a, const LabelView& b);
 

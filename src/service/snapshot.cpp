@@ -1,7 +1,11 @@
 #include "service/snapshot.h"
 
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "service/thread_pool.h"
+#include "store/plan_builder.h"
 #include "util/errors.h"
 #include "util/fault_injection.h"
 
@@ -10,6 +14,44 @@ namespace plg::service {
 namespace {
 
 std::atomic<std::uint64_t> next_snapshot_id{1};
+
+/// Runs job(s) for every shard index, in parallel on a transient pool
+/// when that is profitable AND deterministic. The serial path is chosen
+/// when a fault plan is active: the chaos hooks inject on every k-th
+/// *call*, so admission-order determinism is part of their contract.
+/// Per-shard admission work is otherwise independent and pure — the
+/// shards produced are bit-identical either way. The first exception
+/// wins and is rethrown after the pool drains (thread join gives the
+/// rethrow a happens-before over the capturing store).
+void for_each_shard(std::size_t count, unsigned workers,
+                    const std::function<void(std::size_t)>& job) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, count == 0 ? 1 : count));
+  if (count <= 1 || workers <= 1 || fault::enabled()) {
+    for (std::size_t s = 0; s < count; ++s) job(s);
+    return;
+  }
+  std::once_flag first_error;
+  std::exception_ptr error;
+  {
+    ThreadPool pool(workers);
+    for (std::size_t s = 0; s < count; ++s) {
+      pool.submit(static_cast<unsigned>(s % workers), [&job, &first_error,
+                                                       &error, s] {
+        try {
+          job(s);
+        } catch (...) {
+          std::call_once(first_error,
+                         [&error] { error = std::current_exception(); });
+        }
+      });
+    }
+  }  // ~ThreadPool drains every queue and joins
+  if (error) std::rethrow_exception(error);
+}
 
 }  // namespace
 
@@ -35,22 +77,12 @@ Snapshot::Shard Snapshot::admit(std::vector<Label> labels,
         LabelStore::parse(std::move(blob), StoreVerify::kStrict));
     // Admission is also where decode plans are built: one header parse
     // per label, amortized over every query the snapshot will ever
-    // serve. A label whose plan fails to construct (possible only if the
-    // encoder emitted something thin_fat_parse_header rejects) keeps an
-    // invalid placeholder and is served through the materializing
-    // fallback instead.
-    auto views = std::make_shared<std::vector<LabelView>>();
-    views->reserve(shard.store->size());
-    for (std::size_t i = 0; i < shard.store->size(); ++i) {
-      try {
-        views->push_back(LabelView::parse(
-            shard.store->bits_data(), shard.store->bit_offset(i),
-            static_cast<std::uint64_t>(shard.store->size_bits(i))));
-      } catch (const DecodeError&) {
-        views->push_back(LabelView());
-      }
-    }
-    shard.views = std::move(views);
+    // serve (store/plan_builder.h — the same materialization stage the
+    // mmap path runs per shard).
+    shard.views = std::make_shared<const std::vector<LabelView>>(
+        store::build_plans(shard.store->bits_data(),
+                           shard.store->offsets_data(),
+                           shard.store->size()));
   } catch (const DecodeError& e) {
     if (!allow_quarantine) throw;
     shard.store = nullptr;
@@ -78,20 +110,22 @@ void Snapshot::recompute_total_bytes() noexcept {
 
 std::shared_ptr<const Snapshot> Snapshot::build(const Labeling& labeling,
                                                 std::size_t num_shards,
-                                                bool allow_quarantine) {
+                                                bool allow_quarantine,
+                                                unsigned build_workers) {
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
   snap->map_ = ShardMap(labeling.size(), num_shards);
-  snap->shards_.reserve(snap->map_.num_shards());
-  for (std::size_t s = 0; s < snap->map_.num_shards(); ++s) {
-    std::vector<Label> part;
-    const std::uint64_t begin = snap->map_.shard_begin(s);
-    const std::uint64_t end = snap->map_.shard_end(s);
-    part.reserve(static_cast<std::size_t>(end - begin));
-    for (std::uint64_t v = begin; v < end; ++v) {
-      part.push_back(labeling[static_cast<Vertex>(v)]);
-    }
-    snap->shards_.push_back(admit(std::move(part), allow_quarantine));
-  }
+  snap->shards_.resize(snap->map_.num_shards());
+  for_each_shard(
+      snap->map_.num_shards(), build_workers, [&](std::size_t s) {
+        std::vector<Label> part;
+        const std::uint64_t begin = snap->map_.shard_begin(s);
+        const std::uint64_t end = snap->map_.shard_end(s);
+        part.reserve(static_cast<std::size_t>(end - begin));
+        for (std::uint64_t v = begin; v < end; ++v) {
+          part.push_back(labeling[static_cast<Vertex>(v)]);
+        }
+        snap->shards_[s] = admit(std::move(part), allow_quarantine);
+      });
   snap->recompute_total_bytes();
   return snap;
 }
@@ -99,21 +133,76 @@ std::shared_ptr<const Snapshot> Snapshot::build(const Labeling& labeling,
 std::shared_ptr<const Snapshot> Snapshot::from_file(const std::string& path,
                                                     std::size_t num_shards,
                                                     StoreVerify verify,
-                                                    bool allow_quarantine) {
+                                                    bool allow_quarantine,
+                                                    unsigned build_workers) {
+  // A v3 file serves from the mapping; `verify` has no strict/lenient
+  // split there (integrity is always enforced, lazily per shard).
+  if (store::MappedStore::sniff_file_version(path) == store::kVersion3) {
+    return from_mapped(path, allow_quarantine, build_workers);
+  }
   const LabelStore whole = LabelStore::open_file(path, verify);
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
   snap->map_ = ShardMap(whole.size(), num_shards);
-  snap->shards_.reserve(snap->map_.num_shards());
-  for (std::size_t s = 0; s < snap->map_.num_shards(); ++s) {
-    std::vector<Label> part;
-    const std::uint64_t begin = snap->map_.shard_begin(s);
-    const std::uint64_t end = snap->map_.shard_end(s);
-    part.reserve(static_cast<std::size_t>(end - begin));
-    for (std::uint64_t v = begin; v < end; ++v) {
-      part.push_back(whole.get(static_cast<std::size_t>(v)));
-    }
-    snap->shards_.push_back(admit(std::move(part), allow_quarantine));
-  }
+  snap->shards_.resize(snap->map_.num_shards());
+  for_each_shard(
+      snap->map_.num_shards(), build_workers, [&](std::size_t s) {
+        std::vector<Label> part;
+        const std::uint64_t begin = snap->map_.shard_begin(s);
+        const std::uint64_t end = snap->map_.shard_end(s);
+        part.reserve(static_cast<std::size_t>(end - begin));
+        for (std::uint64_t v = begin; v < end; ++v) {
+          part.push_back(whole.get(static_cast<std::size_t>(v)));
+        }
+        snap->shards_[s] = admit(std::move(part), allow_quarantine);
+      });
+  snap->recompute_total_bytes();
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::from_mapped(const std::string& path,
+                                                      bool allow_quarantine,
+                                                      unsigned build_workers) {
+  // Header/directory failures always throw (an unreadable source is
+  // never quarantined, matching the heap path's file-parse contract).
+  const std::shared_ptr<const store::MappedStore> mapped =
+      store::MappedStore::open(path);
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->map_ = ShardMap(mapped->num_labels(), mapped->num_shards());
+  snap->shards_.resize(mapped->num_shards());
+  for_each_shard(
+      mapped->num_shards(), build_workers, [&](std::size_t s) {
+        Shard sh;
+        try {
+          // Structural gate first: with the offset table proven, plan
+          // building (and any later BitReader walk) stays inside the
+          // mapping even though the shard's CRC has not been checked yet.
+          store::validate_offsets(
+              mapped->shard_offsets(s),
+              static_cast<std::size_t>(mapped->shard_labels(s)),
+              mapped->shard_total_bits(s));
+          sh.views = std::make_shared<const std::vector<LabelView>>(
+              store::build_plans(
+                  mapped->shard_bits(s), mapped->shard_offsets(s),
+                  static_cast<std::size_t>(mapped->shard_labels(s))));
+          sh.mapped = mapped;
+          sh.mapped_index = s;
+          sh.bytes = mapped->shard_bytes(s);
+        } catch (const DecodeError& e) {
+          if (!allow_quarantine) throw;
+          sh = Shard();
+          sh.error = e.what();
+          // A structurally bad offsets table usually means the region
+          // rotted wholesale; the disk re-read (CRC-gated) decides
+          // whether a heal source exists at all.
+          try {
+            sh.heal_labels = std::make_shared<const std::vector<Label>>(
+                mapped->read_shard_labels(s));
+          } catch (const DecodeError&) {
+            sh.heal_labels = nullptr;
+          }
+        }
+        snap->shards_[s] = std::move(sh);
+      });
   snap->recompute_total_bytes();
   return snap;
 }
@@ -121,7 +210,9 @@ std::shared_ptr<const Snapshot> Snapshot::from_file(const std::string& path,
 std::shared_ptr<const Snapshot> Snapshot::heal_shard(std::size_t s) const {
   auto snap = clone_shards();
   // Copy the heal source: a failed re-admission must leave the original
-  // snapshot's heal_labels intact for the next attempt.
+  // snapshot's heal_labels intact for the next attempt. The healed shard
+  // is always heap-backed, even in an otherwise mmap'd snapshot — its
+  // mapped bytes are what went bad.
   std::vector<Label> labels(*shards_[s].heal_labels);
   snap->shards_[s] = admit(std::move(labels), /*allow_quarantine=*/false);
   snap->recompute_total_bytes();
@@ -132,16 +223,22 @@ std::shared_ptr<const Snapshot> Snapshot::with_quarantined_shard(
     std::size_t s, std::string reason) const {
   auto snap = clone_shards();
   Shard& sh = snap->shards_[s];
-  if (sh.store != nullptr) {
-    // Extract a heal source from the store being demoted. The store's
-    // bits are suspect (that is why it is being quarantined), so any
-    // label that no longer decodes makes the shard unhealable rather
-    // than propagating the throw.
-    std::vector<Label> labels;
-    labels.reserve(sh.store->size());
+  if (sh.healthy()) {
+    // Extract a heal source from the shard being demoted. A mapped
+    // shard re-reads its bytes from the FILE (not the suspect mapping),
+    // CRC-gated — memory-side rot of a clean file heals; on-disk rot
+    // makes the shard unhealable. A heap shard decodes from its store's
+    // bits; any label that no longer decodes makes the shard unhealable
+    // rather than propagating the throw.
     try {
-      for (std::size_t i = 0; i < sh.store->size(); ++i) {
-        labels.push_back(sh.store->get(i));
+      std::vector<Label> labels;
+      if (sh.mapped != nullptr) {
+        labels = sh.mapped->read_shard_labels(sh.mapped_index);
+      } else {
+        labels.reserve(sh.store->size());
+        for (std::size_t i = 0; i < sh.store->size(); ++i) {
+          labels.push_back(sh.store->get(i));
+        }
       }
       sh.heal_labels =
           std::make_shared<const std::vector<Label>>(std::move(labels));
@@ -149,6 +246,7 @@ std::shared_ptr<const Snapshot> Snapshot::with_quarantined_shard(
       sh.heal_labels = nullptr;
     }
     sh.store = nullptr;
+    sh.mapped = nullptr;
     sh.views = nullptr;
     sh.bytes = 0;
   }

@@ -4,9 +4,15 @@
 // Lifecycle protocol (the heart of non-blocking serving):
 //
 //   1. A Snapshot is built OFF the serving path — from a Labeling or a
-//      .plgl file — sharded by vertex id via ShardMap. Every shard is a
-//      LabelStore that has passed a full strict (CRC) parse, so admission
-//      to serving memory implies integrity.
+//      .plgl file — sharded by vertex id via ShardMap. A heap-backed
+//      shard (in-memory build, v1/v2 files) is a LabelStore that has
+//      passed a full strict (CRC) parse, so admission to serving memory
+//      implies integrity. A v3 file instead mmap's in (store::MappedStore)
+//      and shards alias the mapping: admission validates only the header
+//      + shard directory and builds decode plans, deferring each shard's
+//      CRC to its first query — integrity is still enforced before any
+//      answer, just lazily, and a first-touch mismatch demotes the shard
+//      into the ordinary quarantine + self-heal pipeline below.
 //   2. Once constructed a Snapshot is never mutated. All accessors are
 //      const and touch only immutable state; any number of threads may
 //      read one concurrently without synchronization.
@@ -58,11 +64,16 @@
 #include "core/label_store.h"
 #include "core/label_view.h"
 #include "core/labeling.h"
-#include "service/shard_map.h"
+#include "store/mapped_store.h"
+#include "store/shard_map.h"
 #include "util/locks.h"
 #include "util/thread_annotations.h"
 
 namespace plg::service {
+
+// The partition type moved to the storage layer (the v3 file format is
+// laid out by it); service code keeps its unqualified spelling.
+using store::ShardMap;
 
 class Snapshot {
  public:
@@ -72,19 +83,33 @@ class Snapshot {
   /// `allow_quarantine`, a shard failing that re-parse is quarantined
   /// (served kCorrupt, healable) instead of aborting the build; without
   /// it the failure propagates as CorruptionError.
+  /// `build_workers` caps the admission ThreadPool (0 = hardware
+  /// concurrency). Admission — serialize, strict re-parse, and plan
+  /// materialization — runs one job per shard; with an active fault
+  /// plan it drops to the serial path so the chaos suites' k-th-call
+  /// injection ordinals stay deterministic. Parallel admission is
+  /// bit-identical to serial (per-shard work is independent and pure;
+  /// regression-asserted in tests/test_store.cpp).
   static std::shared_ptr<const Snapshot> build(const Labeling& labeling,
                                                std::size_t num_shards,
-                                               bool allow_quarantine = false);
+                                               bool allow_quarantine = false,
+                                               unsigned build_workers = 0);
 
   /// Loads a .plgl file and shards it. `verify` is forwarded to the file
   /// parse; shard re-encode is always strict (a lenient *file* load can
   /// still surface corruption later via per-label spot checks). A file
   /// that fails its own parse always throws — quarantine applies to
   /// per-shard admission only, never to an unreadable source.
+  /// A v3 file is mmap'd, not copied: shards alias the mapping
+  /// (store::MappedStore), `num_shards` is superseded by the file's own
+  /// partition, and per-shard CRC verification is deferred to first
+  /// touch regardless of `verify` — no answer is ever served from
+  /// unverified bits (view()/get() gate on the lazy CRC), a mismatch
+  /// quarantines the shard at query time instead of failing the load.
   static std::shared_ptr<const Snapshot> from_file(
       const std::string& path, std::size_t num_shards,
       StoreVerify verify = StoreVerify::kStrict,
-      bool allow_quarantine = false);
+      bool allow_quarantine = false, unsigned build_workers = 0);
 
   const ShardMap& shard_map() const noexcept { return map_; }
   std::uint64_t size() const noexcept { return map_.num_vertices(); }
@@ -93,18 +118,25 @@ class Snapshot {
   /// Materializes the label of vertex v. Thread-safe: LabelStore::get is
   /// const and reads only immutable words. Precondition: v < size() and
   /// !vertex_quarantined(v).
+  /// (Mapped shards additionally throw DecodeError when the shard fails
+  /// its first-touch CRC — the engine answers that kCorrupt and demotes
+  /// the shard, exactly like heap-shard rot.)
   Label get(std::uint64_t v) const {
-    const std::size_t s = map_.shard_of(v);
-    return shards_[s].store->get(
-        static_cast<std::size_t>(map_.index_in_shard(v)));
+    const Shard& sh = shards_[map_.shard_of(v)];
+    const auto i = static_cast<std::size_t>(map_.index_in_shard(v));
+    if (sh.mapped != nullptr) return sh.mapped->get(sh.mapped_index, i);
+    return sh.store->get(i);
   }
 
   /// Size in bits of label v without materializing it. Precondition as
   /// for get().
   std::size_t label_bits(std::uint64_t v) const {
-    const std::size_t s = map_.shard_of(v);
-    return shards_[s].store->size_bits(
-        static_cast<std::size_t>(map_.index_in_shard(v)));
+    const Shard& sh = shards_[map_.shard_of(v)];
+    const auto i = static_cast<std::size_t>(map_.index_in_shard(v));
+    if (sh.mapped != nullptr) {
+      return static_cast<std::size_t>(sh.mapped->label_bits(sh.mapped_index, i));
+    }
+    return sh.store->size_bits(i);
   }
 
   /// Zero-copy decode plan for vertex v's label, or nullptr when the
@@ -113,10 +145,17 @@ class Snapshot {
   /// materializing get() + thin_fat_adjacent path). The returned view
   /// aliases the shard's LabelStore bits and is valid for the snapshot's
   /// lifetime. Precondition: v < size().
+  /// Mapped shards gate on the lazy per-shard CRC here: the first view()
+  /// against a shard pays one CRC pass (once_flag), and a mismatch makes
+  /// every plan in the shard unusable (nullptr), routing queries to the
+  /// materializing fallback whose get() throws — the quarantine trigger.
   // plglint: noexcept-hot-path
   const LabelView* view(std::uint64_t v) const noexcept {
-    const std::size_t s = map_.shard_of(v);
-    const std::vector<LabelView>* views = shards_[s].views.get();
+    const Shard& sh = shards_[map_.shard_of(v)];
+    if (sh.mapped != nullptr && !sh.mapped->shard_intact(sh.mapped_index)) {
+      return nullptr;
+    }
+    const std::vector<LabelView>* views = sh.views.get();
     if (views == nullptr) return nullptr;
     const LabelView& lv =
         (*views)[static_cast<std::size_t>(map_.index_in_shard(v))];
@@ -127,15 +166,16 @@ class Snapshot {
   /// rotted *after* admission (or the encoder lied); the engine counts
   /// these as corruption fallbacks. Precondition as for get().
   bool verify_label(std::uint64_t v) const {
-    const std::size_t s = map_.shard_of(v);
-    return shards_[s].store->verify_label(
-        static_cast<std::size_t>(map_.index_in_shard(v)));
+    const Shard& sh = shards_[map_.shard_of(v)];
+    const auto i = static_cast<std::size_t>(map_.index_in_shard(v));
+    if (sh.mapped != nullptr) return sh.mapped->verify_label(sh.mapped_index, i);
+    return sh.store->verify_label(i);
   }
 
   /// True when shard s was quarantined (admission failed, or the shard
   /// was demoted at query time). Queries routed to it answer kCorrupt.
   bool shard_quarantined(std::size_t s) const noexcept {
-    return shards_[s].store == nullptr;
+    return !shards_[s].healthy();
   }
 
   /// True when v's shard is quarantined.
@@ -146,7 +186,7 @@ class Snapshot {
   /// Number of quarantined shards (0 on a fully healthy snapshot).
   std::size_t num_quarantined() const noexcept {
     std::size_t n = 0;
-    for (const Shard& sh : shards_) n += sh.store == nullptr ? 1u : 0u;
+    for (const Shard& sh : shards_) n += sh.healthy() ? 0u : 1u;
     return n;
   }
 
@@ -154,7 +194,7 @@ class Snapshot {
   /// from before serialization / extracted before demotion) and a
   /// heal_shard() attempt is possible.
   bool shard_healable(std::size_t s) const noexcept {
-    return shards_[s].store == nullptr && shards_[s].heal_labels != nullptr;
+    return !shards_[s].healthy() && shards_[s].heal_labels != nullptr;
   }
 
   /// Why shard s is quarantined (empty for healthy shards).
@@ -181,6 +221,19 @@ class Snapshot {
   /// Total serialized bytes across healthy shards (observability).
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
 
+  /// True when shard s serves straight out of an mmap'd v3 store.
+  bool shard_mapped(std::size_t s) const noexcept {
+    return shards_[s].mapped != nullptr;
+  }
+
+  /// The mapped shard's lazy-CRC verdict without triggering verification
+  /// (kVerified always for heap shards — their CRC gate ran eagerly at
+  /// admission).
+  store::ShardCrcState shard_crc_state(std::size_t s) const noexcept {
+    if (shards_[s].mapped == nullptr) return store::ShardCrcState::kVerified;
+    return shards_[s].mapped->shard_crc_state(shards_[s].mapped_index);
+  }
+
   /// Process-unique identity, assigned at construction from a monotonic
   /// counter. Worker caches tag entries with this id, so a snapshot
   /// allocated at a freed predecessor's address can never satisfy a
@@ -188,19 +241,30 @@ class Snapshot {
   std::uint64_t id() const noexcept { return id_; }
 
  private:
-  /// One shard slot. store == nullptr marks quarantine; heal_labels is
-  /// the (possibly absent) heal source, populated only on quarantine so
+  /// One shard slot with two interchangeable backings: a heap LabelStore
+  /// (v1/v2 admission, and every healed shard) or an aliased slice of an
+  /// mmap'd v3 store. Neither set marks quarantine; heal_labels is the
+  /// (possibly absent) heal source, populated only on quarantine so
   /// healthy snapshots carry no label copies.
   struct Shard {
     std::shared_ptr<const LabelStore> store;
+    /// v3 backing: the whole-file mapping (shared across this snapshot's
+    /// shards, keeping the mmap alive as long as any shard aliases it)
+    /// plus this shard's index in the file's own partition.
+    std::shared_ptr<const store::MappedStore> mapped;
+    std::size_t mapped_index = 0;
     /// Decode plans, one per label, parsed once at admission. Views alias
-    /// `store`'s packed bits, so the two members share one lifetime (both
-    /// are copied together by clone_shards). Null iff store is null.
+    /// the backing's packed bits, so the members share one lifetime (all
+    /// are copied together by clone_shards). Null iff quarantined.
     /// Labels whose plan construction failed hold an invalid placeholder.
     std::shared_ptr<const std::vector<LabelView>> views;
     std::shared_ptr<const std::vector<Label>> heal_labels;
     std::string error;
     std::uint64_t bytes = 0;
+
+    bool healthy() const noexcept {
+      return store != nullptr || mapped != nullptr;
+    }
   };
 
   Snapshot();
@@ -210,6 +274,12 @@ class Snapshot {
   /// CorruptionError on failure unless allow_quarantine, in which case
   /// the returned Shard is quarantined with `labels` as heal source.
   static Shard admit(std::vector<Label> labels, bool allow_quarantine);
+
+  /// Zero-copy v3 admission: one plan-build job per shard over the
+  /// shared mapping (no label bytes are copied or CRC'd here).
+  static std::shared_ptr<const Snapshot> from_mapped(const std::string& path,
+                                                     bool allow_quarantine,
+                                                     unsigned build_workers);
 
   /// Clone sharing every shard slot (shared_ptr copies), fresh id.
   std::shared_ptr<Snapshot> clone_shards() const;

@@ -1,0 +1,103 @@
+// The .plgl version-3 on-disk layout: a sharded, word-aligned label store
+// designed to be served straight out of an mmap.
+//
+// v1/v2 (core/label_store.h) are single-region formats that must be copied
+// into private vectors before anything can read them — admission cost is
+// O(store). v3 instead partitions the labels into ShardMap's contiguous
+// blocks and lays every shard out so that a LabelView decode plan can
+// alias the mapping directly:
+//
+//   [ 0) magic      u32  "PLGL" (same magic as v1/v2 — version selects)
+//   [ 4) version    u32  = 3
+//   [ 8) n          u64  total number of labels
+//   [16) total_bits u64  sum of all label sizes in bits
+//   [24) num_shards u32  shard count (the file's own partition)
+//   [28) header_crc u32  CRC-32C over bytes [0, 28)
+//   [32) dir_crc    u32  CRC-32C over the shard directory
+//   [36) pad        u32  zero (keeps the directory 8-byte aligned)
+//   [40) directory: num_shards x ShardDirEntry (40 bytes each)
+//   [40 + 40*S) shard regions, back to back, each 8-byte aligned
+//
+// One shard region (shard-local, all lengths derivable from its directory
+// entry alone):
+//
+//   offsets:   (label_count + 1) x u64 cumulative bit offsets, first 0,
+//              last == the entry's total_bits
+//   labelsums: label_count x u8 per-label spot checksums
+//              (label_spot_checksum), zero-padded to an 8-byte boundary
+//   bits:      words_for_bits(total_bits) x u64 packed label bits
+//
+// Because the header+directory prefix is a multiple of 8 bytes and every
+// region length is too, each shard's offsets table AND its bits section
+// start 64-bit-word-aligned in the file — a mapping of the file yields
+// correctly aligned `const std::uint64_t*` views with no copying and no
+// unaligned loads.
+//
+// Integrity model: one CRC-32C per shard region, recorded in the
+// directory. The header and directory carry their own CRCs and are
+// verified eagerly at open (they are the only bytes whose corruption
+// could mis-route reads); shard CRCs are verified lazily on first touch
+// (store/mapped_store.h). A truncated file can never SIGBUS readers:
+// every region's extent is validated against the real file size before
+// any shard byte is dereferenced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace plg::store {
+
+inline constexpr std::uint32_t kMagicV3 = 0x4c474c50;  // "PLGL" little-endian
+inline constexpr std::uint32_t kVersion3 = 3;
+
+/// Header field offsets (bytes).
+inline constexpr std::size_t kHeaderCrcAt = 28;
+inline constexpr std::size_t kDirCrcAt = 32;
+/// The header CRC covers [0, kHeaderCrcCoverage).
+inline constexpr std::size_t kHeaderCrcCoverage = 28;
+/// Directory start == total header size.
+inline constexpr std::size_t kHeaderBytes = 40;
+inline constexpr std::size_t kDirEntryBytes = 40;
+
+/// One shard directory entry (serialized field-by-field, little-endian,
+/// exactly kDirEntryBytes on disk).
+struct ShardDirEntry {
+  std::uint64_t byte_off = 0;     ///< region start, from file byte 0
+  std::uint64_t byte_len = 0;     ///< region length in bytes
+  std::uint64_t label_count = 0;  ///< labels in this shard
+  std::uint64_t total_bits = 0;   ///< sum of this shard's label sizes
+  std::uint32_t crc = 0;          ///< CRC-32C over the whole region
+  std::uint32_t reserved = 0;     ///< zero
+};
+
+/// labelsums section length after zero-padding to an 8-byte boundary.
+inline constexpr std::uint64_t padded_sums_bytes(
+    std::uint64_t label_count) noexcept {
+  return (label_count + 7) & ~std::uint64_t{7};
+}
+
+/// Exact region length implied by (label_count, total_bits). A directory
+/// entry whose byte_len disagrees is structurally corrupt.
+inline constexpr std::uint64_t shard_region_bytes(
+    std::uint64_t label_count, std::uint64_t total_bits) noexcept {
+  return (label_count + 1) * sizeof(std::uint64_t) +
+         padded_sums_bytes(label_count) +
+         words_for_bits(static_cast<std::size_t>(total_bits)) *
+             sizeof(std::uint64_t);
+}
+
+/// Region-relative byte offset of the labelsums section.
+inline constexpr std::uint64_t sums_offset_in_region(
+    std::uint64_t label_count) noexcept {
+  return (label_count + 1) * sizeof(std::uint64_t);
+}
+
+/// Region-relative byte offset of the packed-bits section.
+inline constexpr std::uint64_t bits_offset_in_region(
+    std::uint64_t label_count) noexcept {
+  return sums_offset_in_region(label_count) + padded_sums_bytes(label_count);
+}
+
+}  // namespace plg::store

@@ -1,0 +1,75 @@
+#include "store/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/errors.h"
+#include "util/fault_injection.h"
+
+namespace plg::store {
+
+MappedFile::~MappedFile() { unmap(); }
+
+void MappedFile::unmap() noexcept {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+  }
+  size_ = 0;
+}
+
+MappedFile MappedFile::open(const std::string& path, bool writable_private) {
+  int fd = -1;
+  for (;;) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) break;
+  }
+  if (fd < 0) {
+    throw DecodeError("MappedFile: cannot open " + path + ": " +
+                      std::strerror(errno));
+  }
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw DecodeError("MappedFile: fstat failed for " + path + ": " +
+                      std::strerror(err));
+  }
+
+  if (fault::should_fail_mmap()) {
+    ::close(fd);
+    throw DecodeError("MappedFile: injected mmap failure for " + path);
+  }
+
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ == 0) {
+    // mmap rejects zero-length maps; an empty file is a valid (empty)
+    // mapping here and a format error one layer up.
+    ::close(fd);
+    return file;
+  }
+
+  const int prot = PROT_READ | (writable_private ? PROT_WRITE : 0);
+  void* addr = ::mmap(nullptr, file.size_, prot, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    file.size_ = 0;
+    throw DecodeError("MappedFile: mmap failed for " + path + ": " +
+                      std::strerror(map_err));
+  }
+  file.addr_ = addr;
+  // Sequential admission (plan build + lazy CRC) touches most pages soon;
+  // the advice is best-effort and its failure is deliberately ignored.
+  (void)::madvise(addr, file.size_, MADV_WILLNEED);
+  return file;
+}
+
+}  // namespace plg::store

@@ -1,0 +1,74 @@
+// MappedFile: a move-only RAII wrapper around one read-only mmap of a
+// whole file.
+//
+// Contract:
+//   * open() is EINTR-safe (the open(2) retry loop; mmap/munmap do not
+//     return EINTR) and closes the descriptor as soon as the mapping is
+//     established — the mapping keeps the inode alive, no fd is held.
+//   * The mapping is MAP_PRIVATE. Normally it is PROT_READ; when the
+//     active fault plan injects map-flips the caller requests a writable
+//     private mapping, so injected damage is copy-on-write memory rot
+//     that never reaches the backing file.
+//   * madvise(MADV_WILLNEED) is advisory-only; its failure is ignored.
+//   * Fault hooks: fault::should_fail_mmap() can fail open()
+//     deterministically (DecodeError), exercising callers' mmap-error
+//     paths.
+//   * An empty file maps to {data() == nullptr, size() == 0} rather than
+//     an error (mmap rejects zero-length maps); format validation above
+//     this layer rejects it as truncated.
+//
+// SIGBUS discipline: dereferencing a mapping past EOF raises SIGBUS, not
+// a catchable exception. This layer exposes size() so readers validate
+// every structure against the real file size BEFORE touching mapped
+// bytes; store/mapped_store.h does exactly that for the v3 layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace plg::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept
+      : addr_(std::exchange(other.addr_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      addr_ = std::exchange(other.addr_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  /// Maps `path` read-only (private). With `writable_private`, the pages
+  /// are additionally PROT_WRITE so in-memory fault injection can flip
+  /// bits without touching the file. Throws DecodeError on open/mmap
+  /// failure or an injected mmap fault.
+  static MappedFile open(const std::string& path, bool writable_private);
+
+  const std::uint8_t* data() const noexcept {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  /// Writable alias; only meaningful when opened with writable_private.
+  std::uint8_t* mutable_data() const noexcept {
+    return static_cast<std::uint8_t*>(addr_);
+  }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  void unmap() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace plg::store

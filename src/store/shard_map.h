@@ -1,4 +1,5 @@
-// ShardMap: the pure routing function of the query service.
+// ShardMap: the pure routing/partition function shared by the storage
+// layer (the .plgl v3 shard layout) and the query service.
 //
 // Labels are partitioned across a fixed number of shards by vertex id so
 // that (a) snapshot construction and verification parallelize per shard,
@@ -15,7 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
-namespace plg::service {
+namespace plg::store {
 
 class ShardMap {
  public:
@@ -69,4 +70,4 @@ class ShardMap {
   std::uint64_t per_ = 1;
 };
 
-}  // namespace plg::service
+}  // namespace plg::store

@@ -1,0 +1,39 @@
+// StoreWriter: serializes a Labeling into the sharded .plgl v3 layout
+// (store/format_v3.h).
+//
+// The writer owns the layout invariants the mapped reader relies on:
+// shard partition identical to ShardMap(n, num_shards), every region
+// 8-byte aligned and exactly shard_region_bytes long, per-region CRC-32C
+// recorded in the directory, header and directory CRCs patched last. A
+// freshly written file therefore always opens cleanly through
+// MappedStore and maps onto the same ShardMap the query service builds
+// for it — no re-partitioning at load time.
+//
+// write_file routes through fault::FaultOutputStream when a fault plan is
+// active, so injected disk-full faults exercise the same stream-state
+// error handling as the v2 writer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/labeling.h"
+
+namespace plg::store {
+
+class StoreWriter {
+ public:
+  /// Serializes a labeling into a fresh v3 blob partitioned into (at
+  /// most) `num_shards` shards via ShardMap. num_shards == 0 is clamped
+  /// to 1 (ShardMap's convention).
+  static std::vector<std::uint8_t> serialize(const Labeling& labeling,
+                                             std::size_t num_shards);
+
+  /// Serializes and writes to `path`. Throws EncodeError on I/O failure
+  /// (including injected write faults).
+  static void write_file(const std::string& path, const Labeling& labeling,
+                         std::size_t num_shards);
+};
+
+}  // namespace plg::store

@@ -34,6 +34,7 @@ std::atomic<std::uint64_t> g_query_calls{0};
 std::atomic<std::uint64_t> g_accept_calls{0};
 std::atomic<std::uint64_t> g_net_read_calls{0};
 std::atomic<std::uint64_t> g_net_write_calls{0};
+std::atomic<std::uint64_t> g_mmap_calls{0};
 std::atomic<std::uint64_t> g_budget_used{0};
 std::atomic<std::uint64_t> g_injected_stalls{0};
 std::atomic<std::uint64_t> g_injected_shard_fails{0};
@@ -41,6 +42,8 @@ std::atomic<std::uint64_t> g_injected_query_fails{0};
 std::atomic<std::uint64_t> g_injected_accept_fails{0};
 std::atomic<std::uint64_t> g_injected_wire_flips{0};
 std::atomic<std::uint64_t> g_injected_short_writes{0};
+std::atomic<std::uint64_t> g_injected_mmap_fails{0};
+std::atomic<std::uint64_t> g_injected_map_flips{0};
 
 /// Claims one unit of the plan's shared fault budget. True = the fault
 /// may fire. With no budget configured every claim succeeds.
@@ -102,6 +105,10 @@ FaultPlan FaultPlan::parse_spec(const std::string& spec) {
       plan.wire_flip_every = v;
     } else if (key == "wire-short") {
       plan.wire_short_every = v;
+    } else if (key == "mmap-fail") {
+      plan.mmap_fail_every = v;
+    } else if (key == "map-flip") {
+      plan.map_flips = static_cast<std::uint32_t>(v);
     } else if (key == "budget") {
       plan.fault_budget = v;
     } else {
@@ -119,6 +126,7 @@ void enable(const FaultPlan& plan) {
   g_accept_calls.store(0, std::memory_order_relaxed);
   g_net_read_calls.store(0, std::memory_order_relaxed);
   g_net_write_calls.store(0, std::memory_order_relaxed);
+  g_mmap_calls.store(0, std::memory_order_relaxed);
   g_budget_used.store(0, std::memory_order_relaxed);
   g_injected_stalls.store(0, std::memory_order_relaxed);
   g_injected_shard_fails.store(0, std::memory_order_relaxed);
@@ -126,6 +134,8 @@ void enable(const FaultPlan& plan) {
   g_injected_accept_fails.store(0, std::memory_order_relaxed);
   g_injected_wire_flips.store(0, std::memory_order_relaxed);
   g_injected_short_writes.store(0, std::memory_order_relaxed);
+  g_injected_mmap_fails.store(0, std::memory_order_relaxed);
+  g_injected_map_flips.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_release);
 }
 
@@ -226,6 +236,29 @@ void on_net_read(std::uint8_t* data, std::size_t n) noexcept {
   data[splitmix64(state) % n] ^= 0xA5;
 }
 
+bool should_fail_mmap() noexcept {
+  if (!enabled() || g_plan.mmap_fail_every == 0) return false;
+  const std::uint64_t n = g_mmap_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.mmap_fail_every != 0) return false;
+  if (!claim_budget()) return false;
+  g_injected_mmap_fails.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void on_map_region(std::uint8_t* data, std::size_t n) noexcept {
+  if (!enabled() || g_plan.map_flips == 0 || n == 0) return;
+  // Positions are a pure function of (seed, flip index, span size): the
+  // same plan rots the same bits of every same-sized mapping, so a test
+  // re-opening one file sees identical damage each time.
+  std::uint64_t state = g_plan.seed;
+  for (std::uint32_t i = 0; i < g_plan.map_flips; ++i) {
+    const std::uint64_t bit = splitmix64(state) % (n * 8);
+    if (!claim_budget()) return;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    g_injected_map_flips.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::size_t clamp_net_write(std::size_t n) noexcept {
   if (!enabled() || g_plan.wire_short_every == 0 || n <= 1) return n;
   const std::uint64_t call =
@@ -244,6 +277,8 @@ ServiceFaultCounters service_fault_counters() noexcept {
   c.accept_fails = g_injected_accept_fails.load(std::memory_order_relaxed);
   c.wire_flips = g_injected_wire_flips.load(std::memory_order_relaxed);
   c.short_writes = g_injected_short_writes.load(std::memory_order_relaxed);
+  c.mmap_fails = g_injected_mmap_fails.load(std::memory_order_relaxed);
+  c.map_flips = g_injected_map_flips.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -86,6 +86,20 @@ struct FaultPlan {
   /// exercises the runtime quarantine threshold).
   std::uint64_t query_fail_every = 0;
 
+  // --- mapping-level faults (the mmap storage plane's chaos hooks) ---
+
+  /// When k > 0, every k-th mmap attempt (store::MappedFile::open) fails
+  /// with an injected DecodeError before the file is mapped (exercises
+  /// the mmap-unavailable fallback and error surfacing).
+  std::uint64_t mmap_fail_every = 0;
+
+  /// Number of deterministic bit flips applied to a freshly mapped
+  /// region's shard payload (after the structurally validated header +
+  /// directory prefix). Models memory-side rot of a mapping whose file
+  /// is clean: the mapping is MAP_PRIVATE, so the flips never reach
+  /// disk and a quarantine + re-read self-heal genuinely recovers.
+  std::uint32_t map_flips = 0;
+
   // --- socket-level faults (the TCP serving plane's chaos hooks) ---
 
   /// When k > 0, every k-th accept() is artificially failed: the freshly
@@ -114,7 +128,7 @@ struct FaultPlan {
   /// Parses a "key=value,key=value" spec, e.g.
   ///   "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,alloc-cap=1048576"
   ///   ",stall-every=5,stall-ms=2,shard-fail=3,query-fail=7,budget=200"
-  ///   ",accept-fail=5,wire-flip=9,wire-short=4"
+  ///   ",accept-fail=5,wire-flip=9,wire-short=4,mmap-fail=2,map-flip=6"
   /// Unknown keys or malformed values throw std::invalid_argument.
   static FaultPlan parse_spec(const std::string& spec);
 };
@@ -127,9 +141,11 @@ struct ServiceFaultCounters {
   std::uint64_t accept_fails = 0;
   std::uint64_t wire_flips = 0;
   std::uint64_t short_writes = 0;
+  std::uint64_t mmap_fails = 0;
+  std::uint64_t map_flips = 0;
   std::uint64_t total() const noexcept {
     return stalls + shard_fails + query_fails + accept_fails + wire_flips +
-           short_writes;
+           short_writes + mmap_fails + map_flips;
   }
 };
 
@@ -216,6 +232,18 @@ bool should_fail_accept() noexcept;
 /// plan says this read is corrupted, XOR-flips one seed-determined byte
 /// of `data[0..n)` in place (deterministic on-the-wire damage).
 void on_net_read(std::uint8_t* data, std::size_t n) noexcept;
+
+/// Called by store::MappedFile::open before mapping a file. True means
+/// the open must fail with a DecodeError (injected mmap failure).
+bool should_fail_mmap() noexcept;
+
+/// Called by store::MappedStore::open on the writable (MAP_PRIVATE)
+/// shard-payload span of a fresh mapping, after the header + directory
+/// have been structurally validated. Applies the plan's map_flips
+/// deterministic bit flips to `data[0..n)` (copy-on-write: the backing
+/// file is untouched, so the disk re-read heal path recovers). Each flip
+/// draws one unit of the shared fault budget.
+void on_map_region(std::uint8_t* data, std::size_t n) noexcept;
 
 /// Called by the TCP server before each socket write of `n` bytes.
 /// Returns the byte count actually allowed (n normally; 1 on an

@@ -336,5 +336,60 @@ TEST(FailpointEndToEnd, LabelStoreAllocCapRejectsNotAllocates) {
   EXPECT_THROW(LabelStore::open_file(path), DecodeError);
 }
 
+TEST(FaultPlanSpec, ParsesMmapKeys) {
+  const FaultPlan p = FaultPlan::parse_spec("seed=11,mmap-fail=3,map-flip=9");
+  EXPECT_EQ(p.mmap_fail_every, 3u);
+  EXPECT_EQ(p.map_flips, 9u);
+  const FaultPlan d = FaultPlan::parse_spec("");
+  EXPECT_EQ(d.mmap_fail_every, 0u);
+  EXPECT_EQ(d.map_flips, 0u);
+}
+
+TEST(MmapHooks, NoOpsWhenDisabled) {
+  ASSERT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail_mmap());
+  auto span = sample_bytes(256, 31);
+  const auto original = span;
+  fault::on_map_region(span.data(), span.size());
+  EXPECT_EQ(span, original);
+}
+
+TEST(MmapHooks, EveryKthMapFailsUnderBudget) {
+  fault::ScopedFault scope(FaultPlan::parse_spec("mmap-fail=2,budget=2"));
+  std::vector<bool> fails;
+  for (int i = 0; i < 8; ++i) fails.push_back(fault::should_fail_mmap());
+  // Fires on calls 2 and 4; the budget of 2 then suppresses calls 6, 8.
+  EXPECT_EQ(fails, (std::vector<bool>{false, true, false, true, false, false,
+                                      false, false}));
+  EXPECT_EQ(fault::service_fault_counters().mmap_fails, 2u);
+  EXPECT_EQ(fault::service_fault_counters().total(), 2u);
+}
+
+TEST(MmapHooks, MapFlipsAreAPureFunctionOfSeedAndSpan) {
+  auto a = sample_bytes(512, 33);
+  auto b = a;
+  auto c = a;
+  {
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=5,map-flip=7"));
+    fault::on_map_region(a.data(), a.size());
+    EXPECT_EQ(fault::service_fault_counters().map_flips, 7u);
+  }
+  {
+    // Same seed, same span size: the identical bits flip — a re-mapped
+    // file must observe the same damage (determinism for the heal test).
+    fault::ScopedFault scope(FaultPlan::parse_spec("seed=5,map-flip=7"));
+    fault::on_map_region(b.data(), b.size());
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::size_t flipped_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    flipped_bits +=
+        static_cast<std::size_t>(std::popcount(std::uint8_t(a[i] ^ c[i])));
+  }
+  EXPECT_LE(flipped_bits, 7u);  // flips may collide, never exceed the plan
+  EXPECT_GT(flipped_bits, 0u);
+}
+
 }  // namespace
 }  // namespace plg

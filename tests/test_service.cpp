@@ -19,7 +19,7 @@
 #include "service/engine.h"
 #include "service/metrics.h"
 #include "service/serve.h"
-#include "service/shard_map.h"
+#include "store/shard_map.h"
 #include "service/snapshot.h"
 #include "service/thread_pool.h"
 #include "util/random.h"

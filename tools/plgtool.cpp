@@ -23,9 +23,17 @@
 //       accepts possibly-wrong answers. With --graph, a store that fails
 //       verification falls back to re-encoding from the source graph.
 //   plgtool verify <labels.plgl>
-//       integrity-check a persisted label store: section checksums plus a
-//       spot-check of every label. Names the failing section and byte
-//       offset on corruption. Exit 0 = intact, 1 = corrupt.
+//       integrity-check a persisted label store. v1/v2: section checksums
+//       plus a spot-check of every label, naming the failing section and
+//       byte offset on corruption. v3: maps the store and walks every
+//       shard through its lazy CRC, reporting each shard's state
+//       transition (unverified -> verified | CORRUPT) plus per-label spot
+//       checks of intact shards. Exit 0 = intact, 1 = corrupt.
+//   plgtool pack <in.plgl> <out.plgl> [--shards S]
+//       migrate a store to the sharded, word-aligned .plgl v3 layout
+//       (zero-copy mmap serving). Reads any version (v1/v2 heap parse,
+//       v3 mapped), re-partitions into S shards (default 16), writes
+//       atomically (tmp + rename) so in == out migrates in place.
 //   plgtool serve <labels.plgl> [--threads T] [--shards S] [--batch B]
 //                 [--cache C] [--spot-check] [--scheme thin-fat|distance]
 //                 [--strict|--lenient] [--queue-cap N]
@@ -52,7 +60,8 @@
 //   plgtool stats <labels.plgl>
 //       one-line JSON observability report for a store: integrity
 //       verdict, label count/bytes, label-size distribution, fat/thin
-//       split.
+//       split. v3 stores additionally report the shard count; the
+//       integrity verdict covers every shard's CRC.
 //
 // Graph files use the `n m` + edge-per-line text format (src/graph/io.h);
 // a `.bin` suffix selects the binary format.
@@ -102,6 +111,7 @@ using namespace plg;
                "  plgtool lquery <labels.plgl> <u> <v> [--strict|--lenient] "
                "[--graph <graph>] [--fast]\n"
                "  plgtool verify <labels.plgl>\n"
+               "  plgtool pack <in.plgl> <out.plgl> [--shards S]\n"
                "  plgtool serve <labels.plgl> [--threads T] [--shards S] "
                "[--batch B] [--cache C] [--spot-check] "
                "[--scheme thin-fat|distance] [--strict|--lenient] "
@@ -389,12 +399,80 @@ int cmd_labels(int argc, char** argv) {
   return 0;
 }
 
+/// lquery against an mmap'd v3 store. --strict/--lenient do not apply
+/// (per-shard CRC is always enforced, lazily, before any answer); --fast
+/// parses decode plans straight off the mapping. A structural open
+/// failure or a shard failing its first-touch CRC degrades to the
+/// --graph re-encode fallback exactly like a corrupt v2 store.
+int lquery_mapped(const std::string& path, std::uint64_t u, std::uint64_t v,
+                  const Flags& f) {
+  std::shared_ptr<const store::MappedStore> ms;
+  std::optional<Labeling> fb;
+  const auto fall_back = [&](const DecodeError& e) {
+    if (!f.graph) throw e;
+    std::fprintf(stderr,
+                 "warning: %s failed verification (%s); re-encoding from "
+                 "%s\n",
+                 path.c_str(), e.what(), f.graph->c_str());
+    fb = encode_with_flags(load_graph(*f.graph), f).labeling;
+  };
+  try {
+    ms = store::MappedStore::open(path);
+  } catch (const DecodeError& e) {
+    fall_back(e);
+  }
+  const std::uint64_t n = fb ? fb->size() : ms->num_labels();
+  if (u >= n || v >= n) {
+    std::fprintf(stderr, "label index out of range (store holds %llu)\n",
+                 static_cast<unsigned long long>(n));
+    return 1;
+  }
+  bool adj = false;
+  if (!fb) {
+    try {
+      if (f.fast) {
+        // Zero-copy path over the mapping itself: shard-local plans, CRC
+        // gate first so no answer derives from unverified bits.
+        const auto view_of = [&](std::uint64_t g) {
+          const std::size_t s = ms->shard_map().shard_of(g);
+          const auto i =
+              static_cast<std::size_t>(ms->shard_map().index_in_shard(g));
+          if (!ms->shard_intact(s)) {
+            throw DecodeError("shard " + std::to_string(s) +
+                              " failed its lazy CRC check");
+          }
+          const std::uint64_t* off = ms->shard_offsets(s);
+          return LabelView::parse(ms->shard_bits(s), off[i],
+                                  off[i + 1] - off[i]);
+        };
+        adj = label_view_adjacent(view_of(u), view_of(v));
+      } else {
+        adj = thin_fat_adjacent(ms->get_global(u), ms->get_global(v));
+      }
+    } catch (const DecodeError& e) {
+      fall_back(e);
+    }
+  }
+  if (fb) {
+    adj = thin_fat_adjacent((*fb)[static_cast<Vertex>(u)],
+                            (*fb)[static_cast<Vertex>(v)]);
+  }
+  std::printf("adjacent(%llu, %llu) = %s%s\n",
+              static_cast<unsigned long long>(u),
+              static_cast<unsigned long long>(v), adj ? "true" : "false",
+              fb ? "  (re-encoded from source graph)" : "");
+  return adj ? 0 : 1;
+}
+
 int cmd_lquery(int argc, char** argv) {
   if (argc < 5) usage();
   const std::string path = argv[2];
   const auto u = std::strtoull(argv[3], nullptr, 10);
   const auto v = std::strtoull(argv[4], nullptr, 10);
   const Flags f = Flags::parse(argc, argv, 5);
+  if (store::MappedStore::sniff_file_version(path) == store::kVersion3) {
+    return lquery_mapped(path, u, v, f);
+  }
 
   std::optional<LabelStore> store;
   std::optional<Labeling> fallback;
@@ -444,10 +522,63 @@ int cmd_lquery(int argc, char** argv) {
   return adj ? 0 : 1;
 }
 
+/// verify for a v3 store: maps it, then drives every shard through its
+/// lazy CRC exactly as first queries would, reporting the observable
+/// state transitions (the same states Snapshot::shard_crc_state exposes).
+int verify_mapped(const std::string& path) {
+  std::shared_ptr<const store::MappedStore> ms;
+  try {
+    ms = store::MappedStore::open(path);
+  } catch (const DecodeError& e) {
+    std::printf("%s: CORRUPT (format v3)\n", path.c_str());
+    std::printf("  section:     header/directory\n");
+    std::printf("  detail:      %s\n", e.what());
+    return 1;
+  }
+  std::size_t corrupt = 0;
+  std::size_t spot_failures = 0;
+  for (std::size_t s = 0; s < ms->num_shards(); ++s) {
+    // Read (never trigger) the pre-touch state: always "unverified" on a
+    // fresh mapping — printed so the transition itself is visible.
+    const char* before =
+        ms->shard_crc_state(s) == store::ShardCrcState::kUnverified
+            ? "unverified"
+            : "verified";
+    const bool ok = ms->shard_intact(s);
+    std::printf("  shard %zu: %s -> %s (%llu labels, %llu bytes)\n", s,
+                before, ok ? "verified" : "CORRUPT",
+                static_cast<unsigned long long>(ms->shard_labels(s)),
+                static_cast<unsigned long long>(ms->shard_bytes(s)));
+    if (!ok) {
+      ++corrupt;
+      continue;
+    }
+    for (std::size_t i = 0; i < ms->shard_labels(s); ++i) {
+      if (!ms->verify_label(s, i)) ++spot_failures;
+    }
+  }
+  if (corrupt == 0 && spot_failures == 0) {
+    std::printf("%s: OK (format v3, %llu labels, %zu shards, %llu bytes, "
+                "every shard CRC and per-label spot check passes)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(ms->num_labels()),
+                ms->num_shards(),
+                static_cast<unsigned long long>(ms->file_bytes()));
+    return 0;
+  }
+  std::printf("%s: CORRUPT (format v3, %zu/%zu shards failed their CRC, "
+              "%zu label spot-check failures)\n",
+              path.c_str(), corrupt, ms->num_shards(), spot_failures);
+  return 1;
+}
+
 int cmd_verify(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string path = argv[2];
   Flags::parse(argc, argv, 3);  // accepts --fault
+  if (store::MappedStore::sniff_file_version(path) == store::kVersion3) {
+    return verify_mapped(path);
+  }
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -473,6 +604,52 @@ int cmd_verify(int argc, char** argv) {
               static_cast<unsigned long long>(r.byte_offset));
   std::printf("  detail:      %s\n", r.message.c_str());
   return 1;
+}
+
+int cmd_pack(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  const Flags f = Flags::parse(argc, argv, 4);
+  const std::size_t shards = f.shards.value_or(16);
+
+  // Load the source at any version. v1/v2 go through the strict heap
+  // parse; v3 through the mapped reader (load_all CRCs every shard).
+  // Either way a corrupt source aborts the migration — pack never
+  // launders bad bytes into a fresh file.
+  const std::uint32_t version = store::MappedStore::sniff_file_version(in_path);
+  Labeling labeling = [&] {
+    if (version == store::kVersion3) {
+      return store::MappedStore::open(in_path)->load_all();
+    }
+    const LabelStore store =
+        LabelStore::open_file(in_path, StoreVerify::kStrict);
+    std::vector<Label> labels;
+    labels.reserve(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      labels.push_back(store.get(i));
+    }
+    return Labeling(std::move(labels));
+  }();
+
+  // Write-then-rename makes the migration atomic and lets in == out
+  // repack in place: the source stays mapped/readable until the rename.
+  const std::string tmp = out_path + ".tmp";
+  store::StoreWriter::write_file(tmp, labeling, shards);
+  if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "pack: cannot rename %s to %s\n", tmp.c_str(),
+                 out_path.c_str());
+    return 1;
+  }
+  const auto ms = store::MappedStore::open(out_path);
+  std::printf("packed %s (v%u) -> %s (v3): %llu labels, %zu shards, "
+              "%llu bytes\n",
+              in_path.c_str(), version, out_path.c_str(),
+              static_cast<unsigned long long>(ms->num_labels()),
+              ms->num_shards(),
+              static_cast<unsigned long long>(ms->file_bytes()));
+  return 0;
 }
 
 /// Set by the SIGINT/SIGTERM handler; serve_loop polls it between lines.
@@ -683,10 +860,66 @@ int cmd_netbench(int argc, char** argv) {
   return 0;
 }
 
+/// stats for a v3 store: the intact verdict covers every shard's CRC
+/// (all driven through the lazy gate); corrupt shards' labels count as
+/// unparsed.
+int stats_mapped(const std::string& path) {
+  std::shared_ptr<const store::MappedStore> ms;
+  try {
+    ms = store::MappedStore::open(path);
+  } catch (const DecodeError& e) {
+    std::printf("{\"file\":\"%s\",\"intact\":false,\"version\":3,"
+                "\"corruption\":\"%s\"}\n",
+                path.c_str(), e.what());
+    return 1;
+  }
+  bool intact = true;
+  std::size_t max_bits = 0, fat = 0, thin = 0, unparsed = 0;
+  std::uint64_t total_bits = 0;
+  for (std::size_t s = 0; s < ms->num_shards(); ++s) {
+    if (!ms->shard_intact(s)) {
+      intact = false;
+      unparsed += static_cast<std::size_t>(ms->shard_labels(s));
+      continue;
+    }
+    for (std::size_t i = 0; i < ms->shard_labels(s); ++i) {
+      const auto bits = static_cast<std::size_t>(ms->label_bits(s, i));
+      max_bits = std::max(max_bits, bits);
+      total_bits += bits;
+      try {
+        if (thin_fat_parse_header(ms->get(s, i)).fat) {
+          ++fat;
+        } else {
+          ++thin;
+        }
+      } catch (const DecodeError&) {
+        ++unparsed;
+      }
+    }
+  }
+  const double avg_bits =
+      ms->num_labels() == 0 ? 0.0
+                            : static_cast<double>(total_bits) /
+                                  static_cast<double>(ms->num_labels());
+  std::printf(
+      "{\"file\":\"%s\",\"intact\":%s,\"version\":3,\"labels\":%llu,"
+      "\"bytes\":%llu,\"shards\":%zu,\"total_bits\":%llu,\"max_bits\":%zu,"
+      "\"avg_bits\":%.1f,\"fat\":%zu,\"thin\":%zu,\"unparsed\":%zu}\n",
+      path.c_str(), intact ? "true" : "false",
+      static_cast<unsigned long long>(ms->num_labels()),
+      static_cast<unsigned long long>(ms->file_bytes()), ms->num_shards(),
+      static_cast<unsigned long long>(total_bits), max_bits, avg_bits, fat,
+      thin, unparsed);
+  return intact ? 0 : 1;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string path = argv[2];
   Flags::parse(argc, argv, 3);  // accepts --fault
+  if (store::MappedStore::sniff_file_version(path) == store::kVersion3) {
+    return stats_mapped(path);
+  }
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -754,6 +987,7 @@ int main(int argc, char** argv) {
     if (cmd == "labels") return cmd_labels(argc, argv);
     if (cmd == "lquery") return cmd_lquery(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "pack") return cmd_pack(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "netbench") return cmd_netbench(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
