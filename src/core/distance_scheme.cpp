@@ -20,6 +20,9 @@ struct Header {
   bool fat = false;
   std::uint64_t id = 0;
   std::uint64_t rank = 0;  // fat rank (valid iff fat)
+  // plglint-disable(view-lifetime): transient parse cursor; consumed
+  // within the caller's Label argument lifetime, never stored or returned
+  // past it
   BitReader rest;          // positioned at the fat-distance table
 };
 

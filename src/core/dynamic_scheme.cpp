@@ -13,6 +13,9 @@ struct Parsed {
   int width = 0;
   bool fat = false;
   std::uint64_t id = 0;
+  // plglint-disable(view-lifetime): transient parse cursor; consumed
+  // within the caller's Label argument lifetime, never stored or returned
+  // past it
   BitReader rest;
 };
 

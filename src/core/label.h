@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/bit_stream.h"
+#include "util/lifetime.h"
 
 namespace plg {
 
@@ -41,8 +42,11 @@ class Label {
 
   std::size_t size_bits() const noexcept { return bits_; }
 
-  /// A reader positioned at the start of the bit string.
-  BitReader reader() const noexcept { return {words_.data(), bits_}; }
+  /// A reader positioned at the start of the bit string. Borrows this
+  /// label's words: the Label must outlive the reader.
+  BitReader reader() const noexcept PLG_LIFETIME_BOUND {
+    return {words_.data(), bits_};
+  }
 
   /// Hex rendering (low word first) for debugging and golden tests.
   std::string to_hex() const;
@@ -50,7 +54,9 @@ class Label {
   bool operator==(const Label&) const = default;
 
   /// Raw storage (for hashing / serialization).
-  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  const std::vector<std::uint64_t>& words() const noexcept PLG_LIFETIME_BOUND {
+    return words_;
+  }
 
  private:
   std::size_t bits_ = 0;

@@ -36,6 +36,7 @@ void poke(std::vector<std::uint8_t>& out, std::size_t at, T value) {
   std::memcpy(out.data() + at, &value, sizeof(T));
 }
 
+// plglint: wire-read
 template <typename T>
 T read_at(const std::vector<std::uint8_t>& blob, std::size_t& pos) {
   if (pos + sizeof(T) > blob.size()) {
@@ -140,6 +141,7 @@ std::vector<std::uint8_t> LabelStore::serialize_v1(const Labeling& labeling) {
   return out;
 }
 
+// plglint: untrusted-input
 LabelStore LabelStore::parse(std::vector<std::uint8_t> blob,
                              StoreVerify verify) {
   std::size_t pos = 0;

@@ -48,10 +48,13 @@
 #include <cstdint>
 
 #include "core/label.h"
+#include "util/lifetime.h"
 
 namespace plg {
 
-class LabelView {
+// A borrow: views alias the buffer they were parsed from and must be
+// stored next to something that owns it (util/lifetime.h).
+class PLG_POINTS_INTO(store, mapped, words, labels, label) LabelView {
  public:
   /// Invalid view: valid() is false, adjacency must not be called.
   /// Exists so view tables can hold placeholders for labels that failed
@@ -62,12 +65,12 @@ class LabelView {
   /// of `words`. Throws DecodeError under exactly the conditions
   /// thin_fat_parse_header does (truncated/malformed header, id width
   /// > 32). The returned view aliases `words`.
-  static LabelView parse(const std::uint64_t* words, std::uint64_t base_bits,
-                         std::uint64_t size_bits);
+  static LabelView parse(const std::uint64_t* words PLG_LIFETIME_BOUND,
+                         std::uint64_t base_bits, std::uint64_t size_bits);
 
   /// Convenience: a view over a materialized Label. The Label must
   /// outlive the view.
-  static LabelView parse(const Label& l) {
+  static LabelView parse(const Label& l PLG_LIFETIME_BOUND) {
     return parse(l.words().data(), 0, l.size_bits());
   }
 

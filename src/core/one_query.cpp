@@ -29,6 +29,9 @@ struct Header {
   std::uint64_t seed = 0;
   std::uint64_t n = 0;
   std::uint64_t id = 0;
+  // plglint-disable(view-lifetime): transient parse cursor; consumed
+  // within the caller's Label argument lifetime, never stored or returned
+  // past it
   BitReader rest;
 };
 

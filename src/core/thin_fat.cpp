@@ -15,6 +15,9 @@ struct ParsedLabel {
   int width;
   bool fat;
   std::uint64_t id;
+  // plglint-disable(view-lifetime): transient parse cursor; consumed
+  // within the caller's Label argument lifetime, never stored or returned
+  // past it
   BitReader rest;  // positioned at the payload
 };
 

@@ -60,6 +60,7 @@ struct QueryRequest {
   std::uint64_t v = 0;
 };
 
+// plglint: exhaustive-switch
 enum class QueryStatus : std::uint8_t {
   kOk = 0,
   kOutOfRange,  ///< an endpoint id is outside the snapshot

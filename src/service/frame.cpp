@@ -16,6 +16,7 @@ bool known_request_verb(std::uint8_t verb) noexcept {
   return false;
 }
 
+// plglint: untrusted-input
 HeaderError decode_header(const std::uint8_t* data, std::size_t size,
                           std::size_t max_payload, FrameHeader& out,
                           bool require_request) noexcept {

@@ -67,6 +67,7 @@ inline constexpr std::size_t kQueryRecordSize = 16;
 /// Bytes per record in a distance response payload (status + i64).
 inline constexpr std::size_t kDistRecordSize = 9;
 
+// plglint: exhaustive-switch
 enum class Verb : std::uint8_t {
   kAdjBatch = 1,   ///< adjacency batch query
   kDistBatch = 2,  ///< distance batch query
@@ -79,6 +80,7 @@ enum class Verb : std::uint8_t {
 /// Response status byte. Values < kBadMagic are non-fatal; values from
 /// kBadMagic on indicate the connection's framing can no longer be
 /// trusted and the server closes after the error frame.
+// plglint: exhaustive-switch
 enum class FrameStatus : std::uint8_t {
   kOk = 0,
   kWrongScheme = 1,  ///< verb does not match the served label scheme
@@ -96,6 +98,7 @@ enum class FrameStatus : std::uint8_t {
 /// Per-query result code on the wire. Mirrors service::QueryStatus with
 /// the adjacency answer folded in (kNo/kYes) so an adjacency response
 /// costs one byte per query.
+// plglint: exhaustive-switch
 enum class ResultCode : std::uint8_t {
   kNo = 0,
   kYes = 1,
@@ -114,6 +117,7 @@ struct FrameHeader {
   std::uint32_t length = 0;
 };
 
+// plglint: exhaustive-switch
 enum class HeaderError : std::uint8_t {
   kOk = 0,
   kNeedMore,     ///< fewer than kHeaderSize bytes available
@@ -143,7 +147,9 @@ HeaderError decode_header(const std::uint8_t* data, std::size_t size,
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+// plglint: wire-read
 std::uint32_t get_u32(const std::uint8_t* p) noexcept;
+// plglint: wire-read
 std::uint64_t get_u64(const std::uint8_t* p) noexcept;
 void store_u32(std::uint8_t* p, std::uint32_t v) noexcept;
 

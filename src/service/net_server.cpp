@@ -513,7 +513,15 @@ void NetServer::parse_frames(Conn& c) {
         case wire::HeaderError::kOversize:
           status = FrameStatus::kOversize;
           break;
-        default:
+        case wire::HeaderError::kBadMagic:
+          break;  // the initializer above already says kBadMagic
+        case wire::HeaderError::kOk:
+        case wire::HeaderError::kNeedMore:
+        case wire::HeaderError::kBadVerb:
+          // Unreachable: all three are handled before this switch. Spelled
+          // out (rather than `default`) so adding a HeaderError enumerator
+          // without choosing its FrameStatus is a compile/lint error, not a
+          // silent kBadMagic — the bug this switch used to have.
           break;
       }
       send_error(c, status, hdr.request_id);  // fatal: sets closing

@@ -66,6 +66,7 @@
 #include "core/labeling.h"
 #include "store/mapped_store.h"
 #include "store/shard_map.h"
+#include "util/lifetime.h"
 #include "util/locks.h"
 #include "util/thread_annotations.h"
 
@@ -150,7 +151,7 @@ class Snapshot {
   /// every plan in the shard unusable (nullptr), routing queries to the
   /// materializing fallback whose get() throws — the quarantine trigger.
   // plglint: noexcept-hot-path
-  const LabelView* view(std::uint64_t v) const noexcept {
+  const LabelView* view(std::uint64_t v) const noexcept PLG_LIFETIME_BOUND {
     const Shard& sh = shards_[map_.shard_of(v)];
     if (sh.mapped != nullptr && !sh.mapped->shard_intact(sh.mapped_index)) {
       return nullptr;

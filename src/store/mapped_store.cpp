@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/label_store.h"
+#include "store/plan_builder.h"
 #include "util/bit_stream.h"
 #include "util/crc32.h"
 #include "util/errors.h"
@@ -14,6 +15,7 @@ namespace plg::store {
 
 namespace {
 
+// plglint: wire-read
 template <typename T>
 T read_le(const std::uint8_t* p) noexcept {
   T value;
@@ -23,14 +25,21 @@ T read_le(const std::uint8_t* p) noexcept {
 
 /// Decodes label i out of a shard's (offsets, bits) pair — the one
 /// BitReader round-trip both the mapped and the re-read heal paths use.
+/// The offsets table is file-controlled data: every entry is pinned to
+/// [0, total_bits] before any pointer is derived from it.
+// plglint: untrusted-input(offsets)
 Label decode_label(const std::uint64_t* offsets, const std::uint64_t* bits,
-                   std::size_t i) {
+                   std::size_t i, std::uint64_t total_bits) {
   const std::uint64_t start = offsets[i];
+  const std::uint64_t end = offsets[i + 1];
+  if (end > total_bits || start > end) {
+    throw DecodeError("MappedStore: offsets table points outside its shard");
+  }
   BitReader r(bits + start / 64,
-              static_cast<std::size_t>(offsets[i + 1] - (start / 64) * 64));
+              static_cast<std::size_t>(end - (start / 64) * 64));
   if (start % 64 != 0) (void)r.read_bits(static_cast<int>(start % 64));
   BitWriter w;
-  std::uint64_t remaining = offsets[i + 1] - start;
+  std::uint64_t remaining = end - start;
   while (remaining > 0) {
     const int chunk = static_cast<int>(std::min<std::uint64_t>(64, remaining));
     w.write_bits(r.read_bits(chunk), chunk);
@@ -51,6 +60,7 @@ std::uint32_t MappedStore::sniff_file_version(const std::string& path) {
   return read_le<std::uint32_t>(head + 4);
 }
 
+// plglint: untrusted-input
 std::shared_ptr<const MappedStore> MappedStore::open(const std::string& path) {
   // Under an active map-flip plan the mapping must be privately writable
   // so the injected rot stays copy-on-write (the file is never dirtied).
@@ -209,9 +219,23 @@ const std::uint64_t* MappedStore::shard_bits(std::size_t s) const noexcept {
 bool MappedStore::verify_shard_once(std::size_t s) const noexcept {
   const LazySlot& slot = lazy_[s];
   std::call_once(slot.once, [&]() noexcept {
-    const bool ok = crc32c(base() + dir_[s].byte_off,
-                           static_cast<std::size_t>(dir_[s].byte_len)) ==
-                    dir_[s].crc;
+    bool ok = crc32c(base() + dir_[s].byte_off,
+                     static_cast<std::size_t>(dir_[s].byte_len)) ==
+              dir_[s].crc;
+    // A matching CRC proves the bytes are what the writer wrote, not
+    // that the writer was honest: a hostile file can carry a correct
+    // checksum over an offsets table pointing outside its shard. Pin
+    // the table here, under the same once_flag, so every CRC-gated
+    // reader (get, view plans, load_all) inherits the guarantee.
+    if (ok) {
+      try {
+        validate_offsets(shard_offsets(s),
+                         static_cast<std::size_t>(dir_[s].label_count),
+                         dir_[s].total_bits);
+      } catch (const DecodeError&) {
+        ok = false;
+      }
+    }
     slot.state.store(
         static_cast<std::uint8_t>(ok ? ShardCrcState::kVerified
                                      : ShardCrcState::kCorrupt),
@@ -229,13 +253,15 @@ Label MappedStore::get(std::size_t s, std::size_t i) const {
     throw DecodeError("MappedStore: shard " + std::to_string(s) +
                       " failed its lazy CRC check");
   }
-  return decode_label(shard_offsets(s), shard_bits(s), i);
+  return decode_label(shard_offsets(s), shard_bits(s), i,
+                      dir_[s].total_bits);
 }
 
 bool MappedStore::verify_label(std::size_t s, std::size_t i) const {
   return label_spot_checksum(get(s, i)) == shard_labelsums(s)[i];
 }
 
+// plglint: untrusted-input(region)
 std::vector<Label> MappedStore::read_shard_labels(std::size_t s) const {
   if (s >= dir_.size()) {
     throw DecodeError("MappedStore: shard index out of range");
@@ -267,10 +293,15 @@ std::vector<Label> MappedStore::read_shard_labels(std::size_t s) const {
   const std::uint64_t* offsets = region.data();
   const std::uint64_t* bits =
       region.data() + bits_offset_in_region(e.label_count) / 8;
+  // The re-read table gets the same honesty check the mapped one gets in
+  // verify_shard_once — a CRC-consistent hostile file must not steer the
+  // decode loop outside `region`.
+  validate_offsets(offsets, static_cast<std::size_t>(e.label_count),
+                   e.total_bits);
   std::vector<Label> labels;
   labels.reserve(static_cast<std::size_t>(e.label_count));
   for (std::size_t i = 0; i < e.label_count; ++i) {
-    labels.push_back(decode_label(offsets, bits, i));
+    labels.push_back(decode_label(offsets, bits, i, e.total_bits));
   }
   return labels;
 }
@@ -284,7 +315,9 @@ Labeling MappedStore::load_all() const {
                         " failed its CRC; cannot load " + path_);
     }
     for (std::size_t i = 0; i < dir_[s].label_count; ++i) {
-      labels.push_back(decode_label(shard_offsets(s), shard_bits(s), i));
+      labels.push_back(
+          decode_label(shard_offsets(s), shard_bits(s), i,
+                       dir_[s].total_bits));
     }
   }
   return Labeling(std::move(labels));

@@ -42,6 +42,7 @@
 
 #include "core/label.h"
 #include "core/labeling.h"
+#include "util/lifetime.h"
 #include "store/format_v3.h"
 #include "store/mapped_file.h"
 #include "store/shard_map.h"
@@ -90,11 +91,14 @@ class MappedStore {
     return dir_[s].byte_len;
   }
   /// Cumulative shard-local bit offsets, label_count + 1 entries.
-  const std::uint64_t* shard_offsets(std::size_t s) const noexcept;
+  const std::uint64_t* shard_offsets(std::size_t s) const noexcept
+      PLG_LIFETIME_BOUND;
   /// Per-label spot checksums, label_count entries.
-  const std::uint8_t* shard_labelsums(std::size_t s) const noexcept;
+  const std::uint8_t* shard_labelsums(std::size_t s) const noexcept
+      PLG_LIFETIME_BOUND;
   /// Packed label bits, words_for_bits(shard_total_bits) words.
-  const std::uint64_t* shard_bits(std::size_t s) const noexcept;
+  const std::uint64_t* shard_bits(std::size_t s) const noexcept
+      PLG_LIFETIME_BOUND;
 
   // --- lazy integrity ---
 

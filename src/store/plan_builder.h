@@ -35,7 +35,9 @@ std::vector<LabelView> build_plans(const std::uint64_t* words,
 
 /// Structural validation of a cumulative offset table: offsets[0] == 0,
 /// nondecreasing, offsets[n] == total_bits. Throws DecodeError naming
-/// the first violation.
+/// the first violation. A call to this sanitizes the table for plglint's
+/// untrusted-length rule.
+// plglint: bounds-check
 void validate_offsets(const std::uint64_t* offsets, std::size_t n,
                       std::uint64_t total_bits);
 

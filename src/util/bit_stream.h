@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/errors.h"
+#include "util/lifetime.h"
 
 namespace plg {
 
@@ -65,13 +66,16 @@ class BitWriter {
 ///
 /// All reads throw DecodeError past the end; decoders rely on this to
 /// reject truncated labels rather than reading garbage.
-class BitReader {
+/// A borrow: the reader walks a caller-owned word buffer
+/// (util/lifetime.h).
+class PLG_POINTS_INTO(store, mapped, words, labels, label, writer) BitReader {
  public:
   /// Empty reader: every read throws. Exists so parsers can default-
   /// construct header structs before filling them in.
   BitReader() noexcept : words_(nullptr), size_bits_(0) {}
 
-  BitReader(const std::uint64_t* words, std::size_t size_bits) noexcept
+  BitReader(const std::uint64_t* words PLG_LIFETIME_BOUND,
+            std::size_t size_bits) noexcept
       : words_(words), size_bits_(size_bits) {}
 
   /// Reads `width` bits (0 <= width <= 64). One bounds check per call,

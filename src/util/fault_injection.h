@@ -203,6 +203,8 @@ bool should_fail_write(std::uint64_t bytes_written) noexcept;
 /// Guard for allocations sized by untrusted input. Throws DecodeError
 /// (message names `what` and the requested size) when an active alloc cap
 /// is exceeded; otherwise returns. Costs one atomic load when disabled.
+/// A call to this sanitizes its size for plglint's untrusted-length rule.
+// plglint: bounds-check
 void check_untrusted_alloc(std::uint64_t bytes, const char* what);
 
 // ---------------------------------------------------------------------------

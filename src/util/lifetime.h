@@ -1,0 +1,35 @@
+// Borrow annotations: the vocabulary plglint's view-lifetime rule and
+// Clang's lifetime analysis read.
+//
+// A *borrow* is a value that aliases memory it does not own: a LabelView
+// points into a store's packed bit section, a BitReader walks someone
+// else's word buffer, MappedStore accessors hand out pointers into the
+// mapping. The compiler cannot see that contract; these two macros spell
+// it out so tooling can.
+//
+//   PLG_POINTS_INTO(owner, ...)  on a class head, between the keyword and
+//       the name: declares the type a borrow and names the member
+//       identifiers that count as keeping it alive. plglint flags any
+//       class that stores the borrowing type as a member/container
+//       without also storing one of the named owners alongside, and any
+//       lambda that explicitly captures a borrowing local. Expands to
+//       nothing — it exists purely for the analyzer.
+//
+//   PLG_LIFETIME_BOUND  on an owning accessor's declaration (or a
+//       parameter a returned borrow aliases): becomes
+//       [[clang::lifetimebound]] under Clang, so `auto* p =
+//       store().shard_bits(0)` outliving the store is a compile error
+//       there (-Werror=dangling family, enabled in the top-level
+//       CMakeLists under Clang). Expands to nothing elsewhere.
+#pragma once
+
+#define PLG_POINTS_INTO(...)
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define PLG_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef PLG_LIFETIME_BOUND
+#define PLG_LIFETIME_BOUND
+#endif

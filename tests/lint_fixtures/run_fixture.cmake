@@ -9,6 +9,8 @@
 #             means the fixture must lint clean (exit 0), anything else
 #             means findings are required (exit 1)
 #   WORKDIR   this directory (tests/lint_fixtures)
+#   PLGLINT_ARGS  optional extra flags (semicolon list) passed before the
+#             fixture path, e.g. --json
 
 if(NOT PLGLINT OR NOT FIXTURE OR NOT EXPECTED OR NOT WORKDIR)
   message(FATAL_ERROR "run_fixture.cmake: PLGLINT, FIXTURE, EXPECTED and "
@@ -16,7 +18,7 @@ if(NOT PLGLINT OR NOT FIXTURE OR NOT EXPECTED OR NOT WORKDIR)
 endif()
 
 execute_process(
-  COMMAND ${PLGLINT} ${FIXTURE}
+  COMMAND ${PLGLINT} ${PLGLINT_ARGS} ${FIXTURE}
   WORKING_DIRECTORY ${WORKDIR}
   OUTPUT_VARIABLE actual
   ERROR_VARIABLE errout

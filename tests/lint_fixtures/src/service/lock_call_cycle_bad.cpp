@@ -1,0 +1,20 @@
+// A cycle only visible through one level of call propagation: rearm
+// holds mu_b and CALLS arm_timer, which acquires mu_a — combined with
+// the direct mu_a -> mu_b nesting in schedule, that closes a cycle no
+// single function exhibits.
+
+void arm_timer() {
+  util::MutexLock lk(mu_a);
+  touch();
+}
+
+void schedule() {
+  util::MutexLock lk(mu_a);
+  util::MutexLock nested(mu_b);
+  touch();
+}
+
+void rearm() {
+  util::MutexLock lk(mu_b);
+  arm_timer();
+}

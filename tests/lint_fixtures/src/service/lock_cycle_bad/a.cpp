@@ -1,0 +1,8 @@
+// Half of a cross-file deadlock: this translation unit nests
+// mu_a -> mu_b; b.cpp nests them the other way round.
+
+void producer_side() {
+  util::MutexLock lk(mu_a);
+  util::MutexLock nested(mu_b);
+  touch();
+}

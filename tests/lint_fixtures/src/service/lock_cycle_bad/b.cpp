@@ -1,0 +1,8 @@
+// The other half: mu_b -> mu_a. Neither file is wrong in isolation —
+// only the cross-file acquisition graph shows the deadlock.
+
+void consumer_side() {
+  util::MutexLock lk(mu_b);
+  util::MutexLock nested(mu_a);
+  touch();
+}

@@ -1,0 +1,18 @@
+// An intentional opposite-order nesting, suppressed with a
+// justification (e.g. a trylock-with-backoff protocol the analyzer
+// cannot see): the suppressed edge is dropped and no cycle remains.
+
+void forward_path() {
+  util::MutexLock lk(mu_a);
+  util::MutexLock nested(mu_b);
+  touch();
+}
+
+void backoff_path() {
+  util::MutexLock lk(mu_b);
+  // plglint-disable(lock-order): nested acquire is a try_lock with
+  // release-and-retry on failure; it cannot deadlock against
+  // forward_path
+  util::MutexLock nested(mu_a);
+  touch();
+}

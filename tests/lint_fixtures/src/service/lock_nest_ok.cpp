@@ -1,0 +1,20 @@
+// Two call paths nest the same two mutexes in the SAME order: the
+// acquisition graph has one edge (mu_a -> mu_b) and no cycle.
+
+namespace util {
+class MutexLock;
+}
+
+void drain_queue() {
+  util::MutexLock lk(mu_a);
+  util::MutexLock nested(mu_b);
+  touch();
+}
+
+void flush_queue() {
+  util::MutexLock lk(mu_a);
+  {
+    util::MutexLock nested(mu_b);
+    touch();
+  }
+}

@@ -1,0 +1,20 @@
+// Every enumerator handled: clean.
+
+// plglint: exhaustive-switch
+enum class Verb {
+  kQuery,
+  kPing,
+  kStats,
+};
+
+int dispatch(Verb v) {
+  switch (v) {
+    case Verb::kQuery:
+      return 1;
+    case Verb::kPing:
+      return 2;
+    case Verb::kStats:
+      return 3;
+  }
+  return 0;
+}

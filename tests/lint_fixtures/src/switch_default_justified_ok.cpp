@@ -1,0 +1,18 @@
+// Missing enumerators behind a default carrying a justification
+// comment: clean. An undocumented bare default would NOT be enough.
+
+// plglint: exhaustive-switch
+enum class Verb {
+  kQuery,
+  kPing,
+  kStats,
+};
+
+int dispatch(Verb v) {
+  switch (v) {
+    case Verb::kQuery:
+      return 1;
+    default:  // kPing/kStats are filtered out by the admission layer
+      return 0;
+  }
+}

@@ -1,0 +1,19 @@
+// A switch over a marked protocol enum missing an enumerator, with no
+// default: the exhaustive-switch rule must flag it.
+
+// plglint: exhaustive-switch
+enum class Verb {
+  kQuery,
+  kPing,
+  kStats,
+};
+
+int dispatch(Verb v) {
+  switch (v) {
+    case Verb::kQuery:
+      return 1;
+    case Verb::kPing:
+      return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// A non-exhaustive switch with a justified suppression on the switch
+// line: clean output.
+
+// plglint: exhaustive-switch
+enum class Verb {
+  kQuery,
+  kPing,
+  kStats,
+};
+
+int dispatch(Verb v) {
+  // plglint-disable(exhaustive-switch): kPing/kStats handled by the
+  // caller's pre-dispatch filter; this switch sees kQuery only
+  switch (v) {
+    case Verb::kQuery:
+      return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// The same flow with the bound checked first: clean.
+
+// plglint: wire-read
+unsigned read_u32(const unsigned char* p);
+
+struct Buf {
+  int* items;
+};
+
+// plglint: untrusted-input
+void parse_frame(const unsigned char* data, Buf& out) {
+  unsigned n = read_u32(data);
+  if (n > kMaxRecords) return;
+  out.items.resize(n);
+}

@@ -1,0 +1,10 @@
+// A wire length used as a pointer offset without a bound: flagged.
+
+// plglint: wire-read
+unsigned long read_u64(const unsigned char* p);
+
+// plglint: untrusted-input
+const unsigned char* payload_end(const unsigned char* base) {
+  unsigned long len = read_u64(base);
+  return base + len;
+}

@@ -1,0 +1,15 @@
+// A length read off the wire drives resize() with no bounds comparison
+// in between: the untrusted-length rule must flag it.
+
+// plglint: wire-read
+unsigned read_u32(const unsigned char* p);
+
+struct Buf {
+  int* items;
+};
+
+// plglint: untrusted-input
+void parse_frame(const unsigned char* data, Buf& out) {
+  unsigned n = read_u32(data);
+  out.items.resize(n);
+}

@@ -1,0 +1,17 @@
+// Unbounded use with a justified suppression (the bound lives in the
+// callee, which the intraprocedural pass cannot see): clean output.
+
+// plglint: wire-read
+unsigned read_u32(const unsigned char* p);
+
+struct Buf {
+  int* items;
+};
+
+// plglint: untrusted-input
+void parse_frame(const unsigned char* data, Buf& out) {
+  unsigned n = read_u32(data);
+  // plglint-disable(untrusted-length): checked_resize rejects anything
+  // over the frame cap before touching capacity
+  out.items.checked_resize(n), out.items.resize(n);
+}

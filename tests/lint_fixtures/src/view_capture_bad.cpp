@@ -1,0 +1,17 @@
+// A borrow-typed local captured explicitly by a lambda: flagged. The
+// capture-default forms ([&] / [=]) are exempt — they capture the owner
+// too and are audited at the scope level.
+
+class PLG_POINTS_INTO(arena) SpanView {
+ public:
+  const int* data = nullptr;
+};
+
+int use(int (*run)(int));
+
+int main() {
+  SpanView view;
+  auto bad = [view]() { return view.data != nullptr; };
+  auto fine = [&]() { return view.data != nullptr; };
+  return bad() + fine();
+}

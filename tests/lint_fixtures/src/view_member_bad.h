@@ -1,0 +1,17 @@
+#pragma once
+
+// A borrow type and a holder that stores it with no owner alongside:
+// the view-lifetime rule must flag the member.
+
+class PLG_POINTS_INTO(arena, words) SpanView {
+ public:
+  const int* data = nullptr;
+};
+
+class Holder {
+ public:
+  int count = 0;
+
+ private:
+  SpanView view_;  // dangles: nothing named arena/words is stored here
+};

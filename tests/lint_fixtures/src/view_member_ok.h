@@ -1,0 +1,20 @@
+#pragma once
+
+// Borrow member stored NEXT TO its owner: clean. Mirrors
+// service::Snapshot::Shard (views + the store they point into share one
+// statement list).
+
+class PLG_POINTS_INTO(arena, words) SpanView {
+ public:
+  const int* data = nullptr;
+};
+
+struct Arena {
+  int storage[16];
+};
+
+class Holder {
+ private:
+  Arena arena;     // the owner the view points into
+  SpanView view_;  // fine: `arena` is stored alongside
+};

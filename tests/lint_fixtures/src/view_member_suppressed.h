@@ -1,0 +1,16 @@
+#pragma once
+
+// Ownerless borrow member with a justified suppression: clean output.
+
+class PLG_POINTS_INTO(arena) SpanView {
+ public:
+  const int* data = nullptr;
+};
+
+class Cache {
+ private:
+  // plglint-disable(view-lifetime): entries are invalidated by the
+  // generation check before every dereference; the owner is process-
+  // global
+  SpanView cached_;
+};

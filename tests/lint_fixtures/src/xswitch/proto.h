@@ -1,0 +1,12 @@
+#pragma once
+
+// The marked enum lives here; the incomplete switch lives in
+// use_bad.cpp — connected through the cross-file index.
+
+// plglint: exhaustive-switch
+enum class Result : unsigned char {
+  kOk = 0,
+  kRange = 1,
+  kCorrupt = 2,
+  kOverloaded = 3,
+};

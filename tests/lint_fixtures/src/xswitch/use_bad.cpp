@@ -1,0 +1,13 @@
+#include "proto.h"
+
+const char* name(Result r) {
+  switch (r) {
+    case Result::kOk:
+      return "ok";
+    case Result::kRange:
+      return "range";
+    case Result::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}

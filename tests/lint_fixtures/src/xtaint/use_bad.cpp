@@ -1,0 +1,11 @@
+#include "wire.h"
+
+struct Table {
+  int* rows;
+};
+
+// plglint: untrusted-input
+void load(const unsigned char* data, Table& t) {
+  unsigned count = read_u32(data);
+  t.rows.reserve(count);
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+// The wire-read marker lives here; the unbounded use lives in
+// use_bad.cpp — connected through the cross-file index.
+
+// plglint: wire-read
+unsigned read_u32(const unsigned char* p);

@@ -1,0 +1,8 @@
+#pragma once
+
+#include "view_types.h"
+
+struct PlanTable {
+  int generation = 0;
+  WordView plan;  // borrow declared in view_types.h; no `buffer` member
+};

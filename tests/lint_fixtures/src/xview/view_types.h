@@ -1,0 +1,9 @@
+#pragma once
+
+// Declares the borrow type; the violation lives in holder_bad.h — the
+// rule must connect them through the cross-file index.
+
+class PLG_POINTS_INTO(buffer) WordView {
+ public:
+  const unsigned long* words = nullptr;
+};

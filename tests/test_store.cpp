@@ -36,6 +36,7 @@
 #include "store/mapped_store.h"
 #include "store/store_writer.h"
 #include "util/bit_stream.h"
+#include "util/crc32.h"
 #include "util/errors.h"
 #include "util/fault_injection.h"
 #include "util/random.h"
@@ -75,6 +76,20 @@ void write_file_bytes(const std::string& path,
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
+}
+
+void store_u64le(std::vector<std::uint8_t>& b, std::size_t at,
+                 std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    b[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void store_u32le(std::vector<std::uint8_t>& b, std::size_t at,
+                 std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    b[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
 }
 
 /// Polls `pred` until it holds or `timeout` expires.
@@ -276,6 +291,52 @@ TEST(StoreV3Lazy, CorruptShardVerdictIsStickyAndScoped) {
   // Other shards are untouched and fully servable.
   EXPECT_TRUE(ms->shard_intact(0));
   EXPECT_EQ(ms->get(0, 0), labeling[0]);
+}
+
+// A hostile writer, not a bit flip: shard 0's offsets table is rewritten
+// to point far outside the shard's bits section, and every checksum in
+// the endorsement chain — the shard's region CRC and the directory CRC
+// covering the patched entry — is recomputed so the file is
+// bit-for-bit self-consistent. A matching CRC proves the bytes are what
+// the writer wrote, not that the writer was honest: open() must still
+// admit the file (its structure checks out), but the first touch of
+// shard 0 must quarantine it via offsets-table validation instead of
+// decoding out of bounds.
+TEST(StoreV3Lazy, ForgedOffsetsTableWithValidCrcsIsQuarantined) {
+  const Graph g = store_graph(400, 109);
+  const Labeling labeling = encode_labels(g);
+  const std::string path = temp_path("v3_forged_offsets.plgl");
+  StoreWriter::write_file(path, labeling, 4);
+
+  std::vector<std::uint8_t> bytes = read_file(path);
+  const std::size_t region_off =
+      store::kHeaderBytes + 4 * store::kDirEntryBytes;
+  {
+    const auto ms_clean = MappedStore::open(path);
+    const std::size_t region_len =
+        static_cast<std::size_t>(ms_clean->shard_bytes(0));
+    // offsets[1]: label 0 now claims to end ~128 GiB into the shard.
+    store_u64le(bytes, region_off + 8, std::uint64_t{1} << 40);
+    // Re-endorse the forgery: the region CRC over the patched table...
+    store_u32le(bytes, store::kHeaderBytes + 32,
+                crc32c(bytes.data() + region_off, region_len));
+    // ...and the directory CRC over the entry whose crc field changed.
+    store_u32le(bytes, store::kDirCrcAt,
+                crc32c(bytes.data() + store::kHeaderBytes,
+                       4 * store::kDirEntryBytes));
+  }
+  write_file_bytes(path, bytes);
+
+  const auto ms = MappedStore::open(path);  // structure + CRCs all pass
+  EXPECT_FALSE(ms->shard_intact(0));
+  EXPECT_EQ(ms->shard_crc_state(0), ShardCrcState::kCorrupt);
+  EXPECT_FALSE(ms->shard_intact(0));  // verdict is sticky
+  EXPECT_THROW((void)ms->get(0, 0), DecodeError);
+  EXPECT_THROW((void)ms->read_shard_labels(0), DecodeError);
+  EXPECT_THROW((void)ms->load_all(), DecodeError);
+  // The other shards' tables are genuine and still servable.
+  EXPECT_TRUE(ms->shard_intact(1));
+  EXPECT_NO_THROW((void)ms->get(1, 0));
 }
 
 // ---------------------------------------------------------- fault injection

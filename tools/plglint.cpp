@@ -10,8 +10,32 @@
 // fixture corpus under tests/lint_fixtures/ pins every rule's behavior
 // (exact rule id + line) as a ctest.
 //
-// Usage:   plglint [--list-rules] <file-or-dir>...
-// Output:  <file>:<line>: [<rule-id>] <message>
+// v2 is a two-phase project analyzer. Phase 1 scans every file once and
+// builds a cross-file index: borrow-annotated types, marked protocol
+// enums, wire-read / bounds-check functions, and every scoped-lock
+// acquisition in src/service/ + src/store/. Phase 2 runs the per-file
+// rules plus four deep rules over the index:
+//
+//   view-lifetime      a type marked with the PLG_POINTS_INTO macro is a
+//                      borrow; storing one in a member or container
+//                      without an owning member alongside — or capturing
+//                      one in a lambda explicitly — is flagged.
+//   lock-order         MutexLock/ExclusiveLock/SharedLock nestings (plus
+//                      one level of calls made while holding) form the
+//                      acquisition graph; any cycle is an error, and
+//                      --lock-graph=FILE dumps the graph as Graphviz.
+//   untrusted-length   inside a function marked untrusted-input, a value
+//                      assigned from a wire-read function must pass a
+//                      bounds comparison (or a bounds-check call, or
+//                      min/max/clamp) before it reaches resize/reserve/
+//                      new[]/make_unique or pointer '+' arithmetic.
+//   exhaustive-switch  a switch over an enum marked exhaustive-switch
+//                      must handle every enumerator or carry a default
+//                      with a justification comment on/under it.
+//
+// Usage:   plglint [--list-rules] [--json] [--lock-graph=FILE]
+//                  <file-or-dir>...
+// Output:  <file>:<line>: [<rule-id>] <message>   (or a JSON array)
 // Exit:    0 clean, 1 findings, 2 usage/IO error.
 //
 // Suppression: a comment of the form "plglint-disable" + "(rule-id):
@@ -19,12 +43,21 @@
 // file lints clean) silences that rule on its own line — or, when it
 // stands alone, on the next line holding code. The justification text is
 // mandatory: a bare disable is itself a finding, because an unexplained
-// exemption is a rule violation with extra steps. The hot-path rules
-// activate on a comment of the form "plglint:" + " noexcept-hot-path"
-// placed directly above a function; the checker then scans that
-// function's body.
+// exemption is a rule violation with extra steps.
+//
+// Markers are comments of the form "plglint:" + " <kind>":
+//   noexcept-hot-path        above a function: no throw/alloc in body
+//   untrusted-input(seeds)   above a function: run the taint rule on its
+//                            body; the named identifiers start tainted
+//   wire-read                above a function decl: calls to it taint
+//   bounds-check             above a function decl: calls to it sanitize
+//   exhaustive-switch        above an enum: switches over it must be
+//                            exhaustive
 //
 // Rule scoping is path-based and documented per rule in kRuleTable.
+// Analysis is intentionally token-coarse: one-level call propagation for
+// locks, intra-procedural taint, textual mutex keys. The fixture corpus
+// is the contract; anything subtler belongs in the compiler's analyses.
 
 #include <algorithm>
 #include <cctype>
@@ -75,7 +108,19 @@ constexpr RuleInfo kRuleTable[] = {
     {"unknown-rule", "all sources",
      "a suppression names a rule id plglint does not know"},
     {"dangling-marker", "all sources",
-     "a hot-path marker comment with no function body following it"},
+     "a plglint marker comment with nothing it can attach to"},
+    {"view-lifetime", "types marked with the points-into macro",
+     "a borrowed view stored as a member/container needs an owning "
+     "member stored alongside; explicit lambda captures of views flag"},
+    {"lock-order", "src/service/ + src/store/",
+     "scoped-lock nestings (plus one level of calls made while holding) "
+     "must form an acyclic acquisition graph"},
+    {"untrusted-length", "functions marked untrusted-input",
+     "a length from a wire/header read must pass a bounds comparison "
+     "before resize/reserve/new[]/pointer arithmetic"},
+    {"exhaustive-switch", "switches over marked protocol enums",
+     "every enumerator handled, or a default carrying a justification "
+     "comment"},
 };
 
 bool known_rule(std::string_view id) {
@@ -120,6 +165,7 @@ struct FileScan {
   int first_code_line = 0;      // 0 = file has no code lines
   std::string first_code_text;  // trimmed text of that line
   std::set<int> code_lines;     // lines holding at least one token
+  std::set<int> comment_lines;  // lines holding a non-blank comment
 };
 
 bool ident_start(char c) {
@@ -135,6 +181,12 @@ FileScan scan_file(const std::string& text) {
   std::size_t i = 0;
   int line = 1;
   auto note_code_line = [&](int ln) { out.code_lines.insert(ln); };
+  auto note_comment = [&](const std::string& body, int ln) {
+    out.comments.push_back({body, ln});
+    if (body.find_first_not_of(" \t\r*") != std::string::npos) {
+      out.comment_lines.insert(ln);
+    }
+  };
 
   while (i < n) {
     const char c = text[i];
@@ -151,7 +203,7 @@ FileScan scan_file(const std::string& text) {
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
       std::size_t end = text.find('\n', i);
       if (end == std::string::npos) end = n;
-      out.comments.push_back({text.substr(i + 2, end - i - 2), line});
+      note_comment(text.substr(i + 2, end - i - 2), line);
       i = end;
       continue;
     }
@@ -162,7 +214,7 @@ FileScan scan_file(const std::string& text) {
       std::string cur;
       while (j < n && !(text[j] == '*' && j + 1 < n && text[j + 1] == '/')) {
         if (text[j] == '\n') {
-          out.comments.push_back({cur, line});
+          note_comment(cur, line);
           cur.clear();
           ++line;
         } else {
@@ -170,7 +222,7 @@ FileScan scan_file(const std::string& text) {
         }
         ++j;
       }
-      out.comments.push_back({cur, line});
+      note_comment(cur, line);
       i = (j < n) ? j + 2 : n;
       continue;
     }
@@ -319,6 +371,53 @@ bool suppressed(const std::vector<Suppression>& sup, const std::string& rule,
   return false;
 }
 
+// A "plglint:" + " <kind>(args)" marker comment.
+struct Marker {
+  std::string kind;
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+std::vector<Marker> collect_markers(const FileScan& scan) {
+  std::vector<Marker> out;
+  const std::string key = "plglint:";
+  for (const Comment& c : scan.comments) {
+    std::size_t p = c.text.find(key);
+    if (p == std::string::npos) continue;
+    std::size_t q = p + key.size();
+    while (q < c.text.size() &&
+           std::isspace(static_cast<unsigned char>(c.text[q]))) {
+      ++q;
+    }
+    const std::size_t b = q;
+    while (q < c.text.size() &&
+           (ident_char(c.text[q]) || c.text[q] == '-')) {
+      ++q;
+    }
+    if (q == b) continue;
+    Marker m;
+    m.kind = c.text.substr(b, q - b);
+    m.line = c.line;
+    if (q < c.text.size() && c.text[q] == '(') {
+      const std::size_t close = c.text.find(')', q);
+      if (close != std::string::npos) {
+        std::string arg;
+        for (std::size_t k = q + 1; k <= close; ++k) {
+          const char ch = c.text[k];
+          if (ch == ',' || ch == ')') {
+            if (!arg.empty()) m.args.push_back(arg);
+            arg.clear();
+          } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+            arg += ch;
+          }
+        }
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Path scoping helpers (paths normalized to '/' before rules run)
 
@@ -335,7 +434,487 @@ bool is_header(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Token helpers shared by the cross-file passes
+
+// Matching close bracket for the open bracket at t[i] ('(', '{' or '[');
+// returns t.size() when unbalanced.
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].text == open) ++depth;
+    if (t[k].text == close && --depth == 0) return k;
+  }
+  return t.size();
+}
+
+// True for ALL_CAPS identifiers (annotation/attribute macros).
+bool macro_like(const std::string& s) {
+  bool alpha = false;
+  for (const char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) alpha = true;
+  }
+  return alpha;
+}
+
+const std::set<std::string>& stmt_keywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",      "while",   "switch",        "return",
+      "catch",  "sizeof",   "alignof", "decltype",      "static_assert",
+      "throw",  "new",      "delete",  "case",          "do",
+      "else",   "defined",  "assert",  "static_cast",   "const_cast",
+      "typeid", "noexcept", "alignas", "dynamic_cast",  "co_return",
+      "until",  "not",      "and",     "reinterpret_cast"};
+  return kWords;
+}
+
+// The dotted access chain whose LAST identifier is t[j] ("hdr.length",
+// "region.data"); walks back over '.' and '->'.
+std::string chain_ending_at(const std::vector<Token>& t, std::size_t j) {
+  std::vector<std::string> parts{t[j].text};
+  std::size_t i = j;
+  for (;;) {
+    if (i >= 2 && t[i - 1].text == "." && t[i - 2].ident) {
+      parts.push_back(t[i - 2].text);
+      i -= 2;
+    } else if (i >= 3 && t[i - 1].text == ">" && t[i - 2].text == "-" &&
+               t[i - 3].ident) {
+      parts.push_back(t[i - 3].text);
+      i -= 3;
+    } else {
+      break;
+    }
+  }
+  std::reverse(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ".";
+    out += p;
+  }
+  return out;
+}
+
+// Index of the last token of the chain STARTING at ident t[j]
+// (follows '.' / '->' forward).
+std::size_t chain_forward_end(const std::vector<Token>& t, std::size_t j) {
+  std::size_t i = j;
+  for (;;) {
+    if (i + 2 < t.size() && t[i + 1].text == "." && t[i + 2].ident) {
+      i += 2;
+    } else if (i + 3 < t.size() && t[i + 1].text == "-" &&
+               t[i + 2].text == ">" && t[i + 3].ident) {
+      i += 3;
+    } else {
+      return i;
+    }
+  }
+}
+
+bool chain_tainted(const std::set<std::string>& tainted,
+                   const std::string& chain) {
+  if (tainted.count(chain)) return true;
+  for (const std::string& s : tainted) {
+    if (chain.size() > s.size() && chain.compare(0, s.size(), s) == 0 &&
+        chain[s.size()] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: the project index
+
+struct EnumInfo {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> enumerators;
+};
+
+struct BorrowInfo {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> owners;
+};
+
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+struct HeldCall {
+  std::string callee;
+  std::vector<std::string> held;
+  std::string file;
+  int line = 0;
+};
+
+struct ProjectIndex {
+  std::map<std::string, EnumInfo> enums;            // marked protocol enums
+  std::map<std::string, BorrowInfo> borrow_types;   // PLG_POINTS_INTO types
+  std::set<std::string> wire_read_fns;
+  std::set<std::string> bounds_check_fns;
+  std::vector<LockEdge> lock_edges;                 // direct nestings
+  std::vector<HeldCall> held_calls;                 // for one-level spread
+  std::map<std::string, std::set<std::string>> fn_locks;  // fn -> mutexes
+};
+
+struct Unit {
+  std::string file;
+  FileScan scan;
+  std::vector<Suppression> sup;
+  std::vector<Marker> markers;
+};
+
+// Class/struct bodies (token range of the braces) with any owners named
+// by the points-into macro between the keyword and the name.
+struct ClassBody {
+  std::string name;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+  int line = 0;
+  std::vector<std::string> owners;
+  bool borrow = false;  // carried the points-into macro
+};
+
+std::vector<ClassBody> scan_classes(const std::vector<Token>& t) {
+  std::vector<ClassBody> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident || (t[i].text != "class" && t[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && t[i - 1].text == "enum") continue;
+    std::size_t k = i + 1;
+    ClassBody body;
+    while (k < t.size()) {
+      if (t[k].ident && t[k].text == "PLG_POINTS_INTO" &&
+          k + 1 < t.size() && t[k + 1].text == "(") {
+        const std::size_t close = match_bracket(t, k + 1);
+        for (std::size_t a = k + 2; a < close; ++a) {
+          if (t[a].ident) body.owners.push_back(t[a].text);
+        }
+        body.borrow = true;
+        k = close + 1;
+        continue;
+      }
+      if (t[k].ident && macro_like(t[k].text)) {
+        ++k;
+        if (k < t.size() && t[k].text == "(") k = match_bracket(t, k) + 1;
+        continue;
+      }
+      if (t[k].ident) {
+        body.name = t[k].text;
+        ++k;
+        break;
+      }
+      break;  // anonymous or something odd; skip
+    }
+    if (body.name.empty()) continue;
+    // Find the class's '{' before any ';' (forward declaration), '='
+    // (alias), '>' or ',' (template parameter list).
+    bool found = false;
+    int pd = 0;
+    for (; k < t.size(); ++k) {
+      const std::string& s = t[k].text;
+      if (s == "(") ++pd;
+      if (s == ")") --pd;
+      if (pd != 0) continue;
+      if (s == ";" || s == "=" || s == ">" || s == ",") break;
+      if (s == "{") {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    body.body_begin = k;
+    body.body_end = match_bracket(t, k);
+    body.line = t[i].line;
+    out.push_back(std::move(body));
+  }
+  return out;
+}
+
+// First identifier directly before the first '(' after `line` — the name
+// a wire-read / bounds-check marker attaches to.
+std::string fn_name_after_line(const std::vector<Token>& t, int line) {
+  std::size_t i = 0;
+  while (i < t.size() && t[i].line <= line) ++i;
+  for (std::size_t k = i; k < t.size() && k < i + 64; ++k) {
+    if (t[k].text == "(" && k > i && t[k - 1].ident) return t[k - 1].text;
+    if (t[k].text == ";" || t[k].text == "{") break;
+  }
+  return "";
+}
+
+// Body of the function following a marker at `line`: the first '{' at
+// paren depth 0 (same scheme as the hot-path rule). Returns {0, 0} when
+// a ';' or end of file intervenes.
+std::pair<std::size_t, std::size_t> fn_body_after_line(
+    const std::vector<Token>& t, int line) {
+  std::size_t i = 0;
+  while (i < t.size() && t[i].line <= line) ++i;
+  int paren = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].text == "(") ++paren;
+    if (t[k].text == ")") --paren;
+    if (t[k].text == ";" && paren == 0) break;
+    if (t[k].text == "{" && paren == 0) {
+      return {k, match_bracket(t, k)};
+    }
+  }
+  return {0, 0};
+}
+
+// --- lock harvest -----------------------------------------------------
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> kLocks = {"MutexLock", "ExclusiveLock",
+                                               "SharedLock"};
+  return kLocks;
+}
+
+// Function definitions in a file: name + body token range. Token-level:
+// an identifier, a balanced parameter list, an optional trailer (cv,
+// noexcept, annotation macros, trailing return, ctor init list), then a
+// brace body. Functions this misses are simply not harvested.
+struct FnRegion {
+  std::string name;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+std::vector<FnRegion> find_functions(const std::vector<Token>& t) {
+  std::vector<FnRegion> out;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (!(t[i].ident && i + 1 < t.size() && t[i + 1].text == "(") ||
+        stmt_keywords().count(t[i].text) || macro_like(t[i].text) ||
+        lock_types().count(t[i].text)) {
+      ++i;
+      continue;
+    }
+    const std::string name = t[i].text;
+    const std::size_t close = match_bracket(t, i + 1);
+    if (close >= t.size()) break;
+    std::size_t k = close + 1;
+    bool is_fn = false;
+    while (k < t.size()) {
+      const std::string& s = t[k].text;
+      if (s == "const" || s == "noexcept" || s == "override" ||
+          s == "final" || s == "mutable" || s == "try" || s == "&") {
+        ++k;
+        if (k < t.size() && t[k].text == "(") k = match_bracket(t, k) + 1;
+        continue;
+      }
+      if (t[k].ident && macro_like(s)) {
+        ++k;
+        if (k < t.size() && t[k].text == "(") k = match_bracket(t, k) + 1;
+        continue;
+      }
+      if (s == "-" && k + 1 < t.size() && t[k + 1].text == ">") {
+        // Trailing return type: skip its tokens.
+        k += 2;
+        while (k < t.size() && t[k].text != "{" && t[k].text != ";") ++k;
+        continue;
+      }
+      if (s == ":") {
+        // Constructor initializer list: entry-by-entry, so a brace-init
+        // member is not mistaken for the body.
+        ++k;
+        bool body = false;
+        while (k < t.size()) {
+          while (k < t.size() && (t[k].ident || t[k].text == ":")) ++k;
+          if (k < t.size() && t[k].text == "<") {
+            int ad = 0;
+            for (; k < t.size(); ++k) {
+              if (t[k].text == "<") ++ad;
+              if (t[k].text == ">" && --ad == 0) {
+                ++k;
+                break;
+              }
+            }
+            continue;
+          }
+          if (k < t.size() && (t[k].text == "(" || t[k].text == "{")) {
+            k = match_bracket(t, k) + 1;
+            if (k < t.size() && t[k].text == ",") {
+              ++k;
+              continue;
+            }
+            if (k < t.size() && t[k].text == "{") body = true;
+            break;
+          }
+          break;
+        }
+        if (!body) break;
+        continue;  // loop re-sees the body '{' below
+      }
+      if (s == "{") {
+        is_fn = true;
+        break;
+      }
+      break;
+    }
+    if (is_fn) {
+      const std::size_t end = match_bracket(t, k);
+      out.push_back({name, k, end});
+      i = end + 1;
+    } else {
+      i = close + 1;
+    }
+  }
+  return out;
+}
+
+// Call names too generic to propagate lock edges through: matching is
+// textual, so `local.swap(q)` (std::deque) would otherwise inherit the
+// acquisitions of any project function that happens to be named `swap`
+// (e.g. SnapshotStore::swap). The cost is real: a held call TO a lock
+// API with one of these names is not propagated — name lock-taking
+// entry points distinctively (swap_if, acquire, drain are all fine).
+bool ubiquitous_method(const std::string& s) {
+  static const std::set<std::string> kGeneric = {
+      "swap",  "size",  "empty",   "clear", "reset", "get",   "data",
+      "begin", "end",   "find",    "count", "front", "back",  "load",
+      "store", "wait",  "at",      "first", "second"};
+  return kGeneric.count(s) > 0;
+}
+
+// Mutex key of a scoped-lock construction: the last identifier inside
+// the constructor parens ("mu_", "w.mu" -> "mu"). Textual by design —
+// the graph is a convention check, not an alias analysis.
+std::string mutex_key(const std::vector<Token>& t, std::size_t open,
+                      std::size_t close) {
+  std::string key;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    if (t[k].ident && !t[k].text.empty() &&
+        !std::isdigit(static_cast<unsigned char>(t[k].text[0]))) {
+      key = t[k].text;
+    }
+  }
+  return key;
+}
+
+void harvest_locks(const Unit& u, ProjectIndex& ix) {
+  const auto& t = u.scan.toks;
+  for (const FnRegion& fn : find_functions(t)) {
+    struct Active {
+      std::string mutex;
+      int depth = 0;
+    };
+    std::vector<Active> held;
+    int depth = 0;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "{") {
+        ++depth;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+      if (!t[k].ident) continue;
+      if (lock_types().count(s) && k + 2 < fn.body_end && t[k + 1].ident &&
+          t[k + 2].text == "(") {
+        const std::size_t close = match_bracket(t, k + 2);
+        const std::string key = mutex_key(t, k + 2, close);
+        if (key.empty()) continue;
+        for (const Active& a : held) {
+          if (a.mutex != key) {
+            ix.lock_edges.push_back({a.mutex, key, u.file, t[k].line});
+          }
+        }
+        held.push_back({key, depth});
+        ix.fn_locks[fn.name].insert(key);
+        k = close;
+        continue;
+      }
+      if (!held.empty() && k + 1 < fn.body_end && t[k + 1].text == "(" &&
+          !stmt_keywords().count(s) && !macro_like(s) && s != fn.name &&
+          !ubiquitous_method(s)) {
+        std::vector<std::string> hk;
+        for (const Active& a : held) hk.push_back(a.mutex);
+        ix.held_calls.push_back({s, std::move(hk), u.file, t[k].line});
+      }
+    }
+  }
+}
+
+// --- marker-driven index entries --------------------------------------
+
+void index_unit(const Unit& u, ProjectIndex& ix,
+                std::vector<Finding>& findings) {
+  const auto& t = u.scan.toks;
+  // Borrow types from class declarations.
+  for (const ClassBody& c : scan_classes(t)) {
+    if (c.borrow) ix.borrow_types[c.name] = {u.file, c.line, c.owners};
+  }
+  // Marked enums / wire-read / bounds-check declarations.
+  for (const Marker& m : u.markers) {
+    if (m.kind == "exhaustive-switch") {
+      std::size_t i = 0;
+      while (i < t.size() && t[i].line <= m.line) ++i;
+      if (i >= t.size() || t[i].text != "enum") {
+        findings.push_back({u.file, m.line, "dangling-marker",
+                            "exhaustive-switch marker not followed by an "
+                            "enum declaration"});
+        continue;
+      }
+      ++i;
+      if (i < t.size() && (t[i].text == "class" || t[i].text == "struct")) {
+        ++i;
+      }
+      if (i >= t.size() || !t[i].ident) continue;
+      EnumInfo info{u.file, m.line, {}};
+      const std::string name = t[i].text;
+      ++i;
+      while (i < t.size() && t[i].text != "{" && t[i].text != ";") ++i;
+      if (i >= t.size() || t[i].text != "{") continue;
+      const std::size_t end = match_bracket(t, i);
+      bool expect = true;  // next ident at depth 1 is an enumerator
+      int depth = 0;
+      for (std::size_t k = i; k < end; ++k) {
+        const std::string& s = t[k].text;
+        if (s == "{" || s == "(" || s == "[") ++depth;
+        if (s == "}" || s == ")" || s == "]") --depth;
+        if (depth != 1) continue;
+        if (s == ",") {
+          expect = true;
+        } else if (expect && t[k].ident) {
+          info.enumerators.push_back(s);
+          expect = false;
+        }
+      }
+      ix.enums[name] = std::move(info);
+    } else if (m.kind == "wire-read" || m.kind == "bounds-check") {
+      const std::string name = fn_name_after_line(t, m.line);
+      if (name.empty()) {
+        findings.push_back({u.file, m.line, "dangling-marker",
+                            m.kind + " marker not followed by a function "
+                            "declaration"});
+        continue;
+      }
+      if (m.kind == "wire-read") {
+        ix.wire_read_fns.insert(name);
+      } else {
+        ix.bounds_check_fns.insert(name);
+      }
+    }
+  }
+  // Lock harvest is scoped to the layers that own the service mutexes.
+  if (path_in(u.file, "src/service/") || path_in(u.file, "src/store/")) {
+    harvest_locks(u, ix);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules (v1)
 
 void check_pragma_once(const std::string& file, const FileScan& scan,
                        std::vector<Finding>& out) {
@@ -527,29 +1106,14 @@ void check_hot_paths(const std::string& file, const FileScan& scan,
     if (marker != "noexcept-hot-path") continue;
     // Find the function body following the marker: the first '{' at
     // paren depth 0 after the marker's line.
-    std::size_t i = 0;
-    while (i < t.size() && t[i].line <= c.line) ++i;
-    int paren = 0;
-    std::size_t body = t.size();
-    for (std::size_t k = i; k < t.size(); ++k) {
-      if (t[k].text == "(") ++paren;
-      if (t[k].text == ")") --paren;
-      if (t[k].text == ";" && paren == 0) break;  // declaration, no body
-      if (t[k].text == "{" && paren == 0) {
-        body = k;
-        break;
-      }
-    }
-    if (body == t.size()) {
+    const auto [body, body_end] = fn_body_after_line(t, c.line);
+    if (body == 0 && body_end == 0) {
       out.push_back({file, c.line, "dangling-marker",
                      "noexcept-hot-path marker not followed by a "
                      "function body"});
       continue;
     }
-    int depth = 0;
-    for (std::size_t k = body; k < t.size(); ++k) {
-      if (t[k].text == "{") ++depth;
-      if (t[k].text == "}" && --depth == 0) break;
+    for (std::size_t k = body; k < body_end; ++k) {
       if (!t[k].ident) continue;
       if (t[k].text == "throw") {
         if (!suppressed(sup, "hot-path-throw", t[k].line)) {
@@ -569,25 +1133,636 @@ void check_hot_paths(const std::string& file, const FileScan& scan,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: view-lifetime
+
+void check_view_lifetime(const Unit& u, const ProjectIndex& ix,
+                         std::vector<Finding>& out) {
+  if (ix.borrow_types.empty()) return;
+  const auto& t = u.scan.toks;
+  // --- members: a borrow-typed member/container needs an owner member.
+  for (const ClassBody& c : scan_classes(t)) {
+    // Segment the class body into member statements, skipping nested
+    // function bodies (brace after ')' / trailer) but keeping brace
+    // initializers (brace after an identifier or '>').
+    struct Stmt {
+      std::size_t begin, end;
+      bool plain;  // no parens: a data member, usable as an owner
+    };
+    std::vector<Stmt> stmts;
+    std::size_t start = c.body_begin + 1;
+    int pd = 0;
+    for (std::size_t i = c.body_begin + 1; i < c.body_end; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[") ++pd;
+      if (s == ")" || s == "]") --pd;
+      if (pd != 0) continue;
+      if (s == "{") {
+        const bool init = i > 0 && (t[i - 1].ident || t[i - 1].text == ">");
+        const std::size_t close = match_bracket(t, i);
+        if (init) {
+          i = close;  // brace init: part of the member statement
+        } else {
+          i = close;  // function/nested body: statement boundary
+          start = i + 1;
+        }
+        continue;
+      }
+      if (s == ";") {
+        if (i > start) {
+          bool plain = true;
+          for (std::size_t k = start; k < i; ++k) {
+            static const std::set<std::string> kNotMember = {
+                "using", "typedef", "friend", "operator", "template",
+                "static_assert", "enum"};
+            if (t[k].text == "(" || kNotMember.count(t[k].text)) {
+              plain = false;
+              break;
+            }
+          }
+          stmts.push_back({start, i, plain});
+        }
+        start = i + 1;
+      }
+    }
+    for (const Stmt& st : stmts) {
+      if (!st.plain) continue;
+      for (std::size_t k = st.begin; k < st.end; ++k) {
+        if (!t[k].ident) continue;
+        const auto bt = ix.borrow_types.find(t[k].text);
+        if (bt == ix.borrow_types.end()) continue;
+        if (t[k].text == c.name) continue;  // the borrow type itself
+        bool owned = false;
+        for (const Stmt& other : stmts) {
+          if (owned || !other.plain || other.begin == st.begin) continue;
+          for (std::size_t m = other.begin; m < other.end && !owned; ++m) {
+            if (!t[m].ident) continue;
+            for (const std::string& o : bt->second.owners) {
+              if (t[m].text == o) {
+                owned = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!owned && !suppressed(u.sup, "view-lifetime", t[k].line)) {
+          std::string owners;
+          for (const std::string& o : bt->second.owners) {
+            if (!owners.empty()) owners += "/";
+            owners += o;
+          }
+          out.push_back(
+              {u.file, t[k].line, "view-lifetime",
+               "member of '" + c.name + "' stores borrowed type '" +
+                   t[k].text + "' (points into " + owners +
+                   ") with no owning member alongside — the view can "
+                   "outlive the memory it aliases"});
+        }
+        break;  // one finding per statement
+      }
+    }
+  }
+  // --- lambdas: explicit captures of borrow-typed locals/params.
+  std::map<std::string, std::string> locals;  // name -> borrow type
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || !ix.borrow_types.count(t[i].text)) continue;
+    if (i > 0 && (t[i - 1].text == "class" || t[i - 1].text == "struct" ||
+                  t[i - 1].text == "<" || t[i - 1].text == "enum")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < t.size() &&
+           (t[j].text == "*" || t[j].text == "&" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 < t.size() && t[j].ident) {
+      static const std::set<std::string> kDeclNext = {"=", "{", "(", ";",
+                                                      ",", ")"};
+      if (kDeclNext.count(t[j + 1].text)) locals[t[j].text] = t[i].text;
+    }
+  }
+  if (locals.empty()) return;
+  static const std::set<std::string> kLambdaPrev = {"(", ",", "=", "return",
+                                                    "{", ";"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "[") continue;
+    if (i > 0 && !(kLambdaPrev.count(t[i - 1].text) ||
+                   (t[i - 1].ident && t[i - 1].text == "return"))) {
+      continue;
+    }
+    const std::size_t close = match_bracket(t, i);
+    if (close >= t.size() || close + 1 >= t.size()) continue;
+    if (t[close + 1].text != "(" && t[close + 1].text != "{") continue;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (!t[k].ident || t[k].text == "this") continue;
+      const auto it = locals.find(t[k].text);
+      if (it == locals.end()) continue;
+      if (!suppressed(u.sup, "view-lifetime", t[k].line)) {
+        out.push_back({u.file, t[k].line, "view-lifetime",
+                       "borrowed '" + t[k].text + "' (" + it->second +
+                           ") captured by a lambda — the view must not "
+                           "outlive its owner; capture the owner "
+                           "alongside or copy the data"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: exhaustive-switch
+
+void check_exhaustive_switch(const Unit& u, const ProjectIndex& ix,
+                             std::vector<Finding>& out) {
+  if (ix.enums.empty()) return;
+  const auto& t = u.scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident || t[i].text != "switch") continue;
+    if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+    const std::size_t cond_close = match_bracket(t, i + 1);
+    if (cond_close + 1 >= t.size() || t[cond_close + 1].text != "{") continue;
+    const std::size_t body = cond_close + 1;
+    const std::size_t end = match_bracket(t, body);
+    std::map<std::string, std::set<std::string>> used;  // enum -> members
+    int default_line = 0;
+    int depth = 0;
+    for (std::size_t k = body; k < end; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "{") ++depth;
+      if (s == "}") --depth;
+      if (depth != 1 || !t[k].ident) continue;
+      if (s == "default") {
+        default_line = t[k].line;
+        continue;
+      }
+      if (s != "case") continue;
+      // Tokens of the label up to its ':' (skipping '::' pairs).
+      std::size_t last_scope = 0;  // index of ident AFTER the last '::'
+      std::size_t m = k + 1;
+      for (; m + 1 < end; ++m) {
+        if (t[m].text == ":" && t[m + 1].text == ":") {
+          if (m + 2 < end && t[m + 2].ident) last_scope = m + 2;
+          ++m;
+          continue;
+        }
+        if (t[m].text == ":") break;
+      }
+      if (last_scope >= 3 && t[last_scope - 3].ident) {
+        used[t[last_scope - 3].text].insert(t[last_scope].text);
+      }
+      k = m;
+    }
+    // The switch's subject enum: the marked enum with the most labels.
+    std::string subject;
+    std::size_t best = 0;
+    for (const auto& [name, members] : used) {
+      if (ix.enums.count(name) && members.size() > best) {
+        subject = name;
+        best = members.size();
+      }
+    }
+    if (subject.empty()) continue;
+    const EnumInfo& info = ix.enums.at(subject);
+    std::vector<std::string> missing;
+    for (const std::string& e : info.enumerators) {
+      if (!used.at(subject).count(e)) missing.push_back(e);
+    }
+    if (missing.empty()) continue;
+    if (default_line != 0) {
+      // A default is fine when justified: a comment on its own line or
+      // the next, or an explicit suppression.
+      const bool justified =
+          u.scan.comment_lines.count(default_line) ||
+          u.scan.comment_lines.count(default_line + 1) ||
+          suppressed(u.sup, "exhaustive-switch", default_line);
+      if (justified) continue;
+    }
+    if (suppressed(u.sup, "exhaustive-switch", t[i].line)) continue;
+    std::string list;
+    for (std::size_t m = 0; m < missing.size() && m < 3; ++m) {
+      if (!list.empty()) list += ", ";
+      list += missing[m];
+    }
+    if (missing.size() > 3) list += ", …";
+    out.push_back({u.file, t[i].line, "exhaustive-switch",
+                   "switch over '" + subject + "' does not handle " +
+                       list + " — add the case(s) or a default with a "
+                       "justification comment"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: untrusted-length
+
+// Token indices inside a template-argument span (ident '<' type-ish
+// tokens '>' followed by '(' or '::'): their '<'/'>' are not
+// comparisons.
+std::vector<bool> template_spans(const std::vector<Token>& t,
+                                 std::size_t begin, std::size_t end) {
+  std::vector<bool> in_span(end - begin, false);
+  static const std::set<std::string> kTypeish = {":", "*", "&", ",",
+                                                 "const", "<", ">"};
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!t[i].ident || t[i + 1].text != "<") continue;
+    int depth = 0;
+    std::size_t k = i + 1;
+    bool ok = false;
+    for (; k < end; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "<") {
+        ++depth;
+        continue;
+      }
+      if (s == ">") {
+        if (--depth == 0) {
+          ok = true;
+          break;
+        }
+        continue;
+      }
+      if (!(t[k].ident || kTypeish.count(s) ||
+            std::isdigit(static_cast<unsigned char>(s[0])))) {
+        break;
+      }
+    }
+    if (!ok || k + 1 >= end) continue;
+    const std::string& nx = t[k + 1].text;
+    if (nx != "(" && nx != ":") continue;
+    for (std::size_t m = i + 1; m <= k; ++m) in_span[m - begin] = true;
+  }
+  return in_span;
+}
+
+// True when [begin, end) holds a comparison operator outside template
+// spans (and outside '->' / '<<' / '>>').
+bool has_comparison(const std::vector<Token>& t, std::size_t begin,
+                    std::size_t end, const std::vector<bool>& span,
+                    std::size_t span_base) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& s = t[i].text;
+    if (s == "=" && i > begin) {
+      const std::string& p = t[i - 1].text;
+      if (p == "=" || p == "!" || p == "<" || p == ">") return true;
+      continue;
+    }
+    if (s != "<" && s != ">") continue;
+    if (span[i - span_base]) continue;
+    if (i > begin && t[i - 1].text == "-") continue;           // '->'
+    if (i + 1 < end && t[i + 1].text == s) continue;           // shifts
+    if (i > begin && t[i - 1].text == s) continue;
+    return true;
+  }
+  return false;
+}
+
+void check_untrusted_length(const Unit& u, const ProjectIndex& ix,
+                            std::vector<Finding>& out) {
+  const auto& t = u.scan.toks;
+  auto sanitizer = [&](const std::string& name) {
+    return name == "min" || name == "max" || name == "clamp" ||
+           ix.bounds_check_fns.count(name) > 0;
+  };
+  for (const Marker& m : u.markers) {
+    if (m.kind != "untrusted-input") continue;
+    const auto [body, body_end] = fn_body_after_line(t, m.line);
+    if (body == 0 && body_end == 0) {
+      out.push_back({u.file, m.line, "dangling-marker",
+                     "untrusted-input marker not followed by a function "
+                     "body"});
+      continue;
+    }
+    std::set<std::string> tainted(m.args.begin(), m.args.end());
+    // Walk the body statement-by-statement (';' / '{' / '}' at paren
+    // depth 0 delimit).
+    std::size_t seg = body + 1;
+    int pd = 0;
+    std::set<std::pair<int, std::string>> reported;
+    for (std::size_t i = body + 1; i <= body_end && i < t.size(); ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[") ++pd;
+      if (s == ")" || s == "]") --pd;
+      const bool boundary =
+          (pd == 0 && (s == ";" || s == "{" || s == "}")) || i == body_end;
+      if (!boundary) continue;
+      const std::size_t b = seg, e = i;
+      seg = i + 1;
+      if (e <= b) continue;
+      const std::vector<bool> span = template_spans(t, b, e);
+      auto occurs_tainted = [&](std::size_t from, std::size_t to,
+                                std::string* which) {
+        for (std::size_t k = from; k < to; ++k) {
+          if (!t[k].ident) continue;
+          const std::string c = chain_ending_at(t, k);
+          if (chain_tainted(tainted, c)) {
+            if (which) *which = c;
+            return true;
+          }
+        }
+        return false;
+      };
+      auto calls_marked = [&](std::size_t from, std::size_t to,
+                              const std::set<std::string>& fns) {
+        for (std::size_t k = from; k < to; ++k) {
+          if (t[k].ident && fns.count(t[k].text) && k + 1 < to &&
+              (t[k + 1].text == "(" || t[k + 1].text == "<")) {
+            return true;
+          }
+        }
+        return false;
+      };
+      const bool cmp = has_comparison(t, b, e, span, b);
+      bool sanitizing_call = false;
+      for (std::size_t k = b; k < e; ++k) {
+        if (t[k].ident && sanitizer(t[k].text) && k + 1 < e &&
+            (t[k + 1].text == "(" || t[k + 1].text == "<")) {
+          sanitizing_call = true;
+        }
+      }
+      // 1. Assignment: taint the LHS when the RHS carries a wire read
+      //    or an already-tainted value (and no inline bound).
+      std::size_t eq = e;
+      int apd = 0;
+      for (std::size_t k = b; k < e; ++k) {
+        const std::string& a = t[k].text;
+        if (a == "(" || a == "[") ++apd;
+        if (a == ")" || a == "]") --apd;
+        if (apd != 0 || a != "=") continue;
+        if (k > b) {
+          static const std::set<std::string> kCompound = {
+              "=", "!", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^"};
+          if (kCompound.count(t[k - 1].text)) continue;
+        }
+        if (k + 1 < e && t[k + 1].text == "=") continue;
+        eq = k;
+        break;
+      }
+      if (eq != e && eq > b) {
+        std::size_t lhs = eq - 1;
+        if (t[lhs].text == "]") {  // x[i] = ... assigns to x
+          int bd = 0;
+          while (lhs > b) {
+            if (t[lhs].text == "]") ++bd;
+            if (t[lhs].text == "[" && --bd == 0) {
+              --lhs;
+              break;
+            }
+            --lhs;
+          }
+        }
+        if (t[lhs].ident) {
+          const std::string target = chain_ending_at(t, lhs);
+          const bool dirty =
+              calls_marked(eq + 1, e, ix.wire_read_fns) ||
+              occurs_tainted(eq + 1, e, nullptr);
+          const bool bounded =
+              has_comparison(t, eq + 1, e, span, b) ||
+              [&] {
+                for (std::size_t k = eq + 1; k < e; ++k) {
+                  if (t[k].ident && sanitizer(t[k].text) && k + 1 < e &&
+                      (t[k + 1].text == "(" || t[k + 1].text == "<")) {
+                    return true;
+                  }
+                }
+                return false;
+              }();
+          if (dirty && !bounded) {
+            tainted.insert(target);
+          } else {
+            tainted.erase(target);
+          }
+        }
+      }
+      // 2. What this statement sanitizes (a comparison or bounds call
+      //    touching a tainted chain clears it from here on).
+      std::set<std::string> clean_now;
+      if (cmp || sanitizing_call) {
+        for (std::size_t k = b; k < e; ++k) {
+          if (!t[k].ident) continue;
+          const std::string c = chain_ending_at(t, k);
+          if (chain_tainted(tainted, c)) clean_now.insert(c);
+          // Clearing the root also clears derived chains.
+          if (tainted.count(c)) clean_now.insert(c);
+        }
+      }
+      auto live = [&](const std::string& c) {
+        if (clean_now.count(c)) return false;
+        for (const std::string& cn : clean_now) {
+          if (c.size() > cn.size() && c.compare(0, cn.size(), cn) == 0 &&
+              c[cn.size()] == '.') {
+            return false;
+          }
+        }
+        return chain_tainted(tainted, c);
+      };
+      auto report = [&](int line, const std::string& chain,
+                        const std::string& sink) {
+        if (!reported.insert({line, chain}).second) return;
+        if (suppressed(u.sup, "untrusted-length", line)) return;
+        out.push_back({u.file, line, "untrusted-length",
+                       "'" + chain + "' comes from a wire/header read "
+                       "and reaches " + sink + " without a bounds "
+                       "comparison"});
+      };
+      // 3. Sinks.
+      for (std::size_t k = b; k < e; ++k) {
+        const std::string& a = t[k].text;
+        if (t[k].ident &&
+            (a == "resize" || a == "reserve" || a == "make_unique") &&
+            k + 1 < e && (t[k + 1].text == "(" || t[k + 1].text == "<")) {
+          std::size_t open = k + 1;
+          while (open < e && t[open].text != "(") ++open;
+          if (open >= e) continue;
+          const std::size_t close = match_bracket(t, open);
+          for (std::size_t q = open + 1; q < close && q < e; ++q) {
+            if (!t[q].ident) continue;
+            const std::string c = chain_ending_at(t, q);
+            if (live(c)) report(t[q].line, c, a + "()");
+          }
+          if (calls_marked(open + 1, std::min(close, e),
+                           ix.wire_read_fns)) {
+            report(t[k].line, "<wire read>", a + "()");
+          }
+          continue;
+        }
+        if (t[k].ident && a == "new") {
+          for (std::size_t q = k + 1; q < e && t[q].text != ";" &&
+                                      t[q].text != "(";
+               ++q) {
+            if (t[q].text != "[") continue;
+            const std::size_t close = match_bracket(t, q);
+            for (std::size_t w = q + 1; w < close && w < e; ++w) {
+              if (!t[w].ident) continue;
+              const std::string c = chain_ending_at(t, w);
+              if (live(c)) report(t[w].line, c, "new[]");
+            }
+            break;
+          }
+          continue;
+        }
+        if (a == "+" && !t[k].ident) {
+          if (k + 1 < e && (t[k + 1].text == "+" || t[k + 1].text == "=")) {
+            continue;
+          }
+          if (k > b && t[k - 1].text == "+") continue;
+          // Right operand (a call result is not a length).
+          if (k + 1 < e && t[k + 1].ident) {
+            const std::size_t ce = chain_forward_end(t, k + 1);
+            if (ce + 1 >= e || t[ce + 1].text != "(") {
+              const std::string c = chain_ending_at(t, ce);
+              if (live(c)) {
+                report(t[k + 1].line, c, "pointer/index arithmetic");
+              }
+            }
+          }
+          // Left operand.
+          if (k > b && t[k - 1].ident) {
+            const std::string c = chain_ending_at(t, k - 1);
+            if (live(c)) report(t[k - 1].line, c, "pointer/index arithmetic");
+          }
+          continue;
+        }
+      }
+      for (const std::string& c : clean_now) tainted.erase(c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order (graph pass over the phase-1 harvest)
+
+void check_lock_order(const std::vector<Unit>& units, const ProjectIndex& ix,
+                      const std::string& dot_path,
+                      std::vector<Finding>& out) {
+  std::map<std::string, const std::vector<Suppression>*> sup_of;
+  for (const Unit& u : units) sup_of[u.file] = &u.sup;
+  auto edge_suppressed = [&](const LockEdge& e) {
+    const auto it = sup_of.find(e.file);
+    return it != sup_of.end() &&
+           suppressed(*it->second, "lock-order", e.line);
+  };
+
+  // Direct edges plus one level of call propagation: holding A while
+  // calling f() that acquires B is an A -> B edge at the call site.
+  std::vector<LockEdge> all = ix.lock_edges;
+  for (const HeldCall& c : ix.held_calls) {
+    const auto it = ix.fn_locks.find(c.callee);
+    if (it == ix.fn_locks.end()) continue;
+    for (const std::string& h : c.held) {
+      for (const std::string& m : it->second) {
+        if (m != h) all.push_back({h, m, c.file, c.line});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const LockEdge& a, const LockEdge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+  std::map<std::string, std::map<std::string, LockEdge>> graph;
+  for (const LockEdge& e : all) {
+    if (edge_suppressed(e)) continue;
+    graph[e.from].emplace(e.to, e);  // first (sorted) site wins
+  }
+
+  if (!dot_path.empty()) {
+    std::ofstream dot(dot_path);
+    dot << "// Lock acquisition order over src/service/ + src/store/\n"
+        << "// (generated by plglint --lock-graph; a cycle here is a\n"
+        << "// lock-order finding). Edge label = first acquisition site.\n"
+        << "digraph lock_order {\n  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    std::set<std::string> nodes;
+    for (const auto& [from, tos] : graph) {
+      nodes.insert(from);
+      for (const auto& [to, e] : tos) nodes.insert(to);
+    }
+    for (const std::string& n : nodes) dot << "  \"" << n << "\";\n";
+    for (const auto& [from, tos] : graph) {
+      for (const auto& [to, e] : tos) {
+        dot << "  \"" << from << "\" -> \"" << to << "\" [label=\""
+            << e.file << ":" << e.line << "\"];\n";
+      }
+    }
+    dot << "}\n";
+  }
+
+  // Cycle detection: DFS with tricolor marking; each cycle reported once
+  // at its first (sorted) edge.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> seen_cycles;
+  auto report_cycle = [&](const std::string& back_to) {
+    std::vector<std::string> cyc;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      cyc.push_back(stack[i]);
+      if (stack[i] == back_to) break;
+    }
+    std::reverse(cyc.begin(), cyc.end());
+    // Canonical rotation: start at the smallest mutex name.
+    const std::size_t rot = static_cast<std::size_t>(
+        std::min_element(cyc.begin(), cyc.end()) - cyc.begin());
+    std::rotate(cyc.begin(), cyc.begin() + static_cast<std::ptrdiff_t>(rot),
+                cyc.end());
+    std::string desc;
+    for (const std::string& n : cyc) desc += n + " -> ";
+    desc += cyc.front();
+    if (!seen_cycles.insert(desc).second) return;
+    const LockEdge& e = graph.at(cyc.front()).at(cyc[1 % cyc.size()]);
+    out.push_back({e.file, e.line, "lock-order",
+                   "lock acquisition cycle: " + desc +
+                       " — a thread holding '" + e.from +
+                       "' acquires '" + e.to +
+                       "' here while another path nests them the other "
+                       "way"});
+  };
+  std::vector<std::string> roots;
+  for (const auto& [from, tos] : graph) roots.push_back(from);
+  // Iterative DFS (explicit stack of [node, next-edge iterator]).
+  for (const std::string& root : roots) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> dfs{{root, 0}};
+    stack.clear();
+    stack.push_back(root);
+    color[root] = 1;
+    while (!dfs.empty()) {
+      auto& [node, idx] = dfs.back();
+      std::vector<std::string> nexts;
+      if (graph.count(node)) {
+        for (const auto& [to, e] : graph.at(node)) nexts.push_back(to);
+      }
+      if (idx >= nexts.size()) {
+        color[node] = 2;
+        dfs.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string to = nexts[idx++];
+      if (color[to] == 1) {
+        report_cycle(to);
+      } else if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back(to);
+        dfs.push_back({to, 0});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 
-void lint_file(const fs::path& p, std::vector<Finding>& findings) {
+bool load_unit(const fs::path& p, Unit& u, std::vector<Finding>& findings) {
   std::ifstream in(p, std::ios::binary);
   if (!in) {
     findings.push_back({p.generic_string(), 0, "io-error", "cannot read"});
-    return;
+    return false;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string file = p.generic_string();
-  const FileScan scan = scan_file(buf.str());
-  const auto sup = collect_suppressions(scan, file, findings);
-  check_pragma_once(file, scan, findings);
-  check_include_order(file, scan, findings);
-  check_c_casts(file, scan, sup, findings);
-  check_rng(file, scan, sup, findings);
-  check_mutex_guard(file, scan, sup, findings);
-  check_hot_paths(file, scan, sup, findings);
+  u.file = p.generic_string();
+  u.scan = scan_file(buf.str());
+  u.sup = collect_suppressions(u.scan, u.file, findings);
+  u.markers = collect_markers(u.scan);
+  return true;
 }
 
 bool lintable(const fs::path& p) {
@@ -595,8 +1770,42 @@ bool lintable(const fs::path& p) {
   return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
   std::vector<fs::path> files;
+  bool json = false;
+  std::string dot_path;
+  const std::string usage =
+      "usage: plglint [--list-rules] [--json] [--lock-graph=FILE] "
+      "<file-or-dir>...\n";
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--list-rules") {
@@ -606,8 +1815,20 @@ int run(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: plglint [--list-rules] <file-or-dir>...\n";
+      std::cout << usage;
       return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg.rfind("--lock-graph=", 0) == 0) {
+      dot_path = arg.substr(std::string("--lock-graph=").size());
+      if (dot_path.empty()) {
+        std::cerr << "plglint: --lock-graph needs a path\n";
+        return 2;
+      }
+      continue;
     }
     fs::path p(arg);
     std::error_code ec;
@@ -616,7 +1837,8 @@ int run(int argc, char** argv) {
            it != fs::recursive_directory_iterator(); ++it) {
         const std::string name = it->path().filename().string();
         if (it->is_directory() &&
-            (name.rfind("build", 0) == 0 || name[0] == '.')) {
+            (name.rfind("build", 0) == 0 || name[0] == '.' ||
+             name == "lint_fixtures")) {
           it.disable_recursion_pending();
           continue;
         }
@@ -632,22 +1854,59 @@ int run(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: plglint [--list-rules] <file-or-dir>...\n";
+    std::cerr << usage;
     return 2;
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<Finding> findings;
-  for (const fs::path& f : files) lint_file(f, findings);
+
+  // Phase 1: load + scan every file, build the project index.
+  std::vector<Unit> units;
+  units.reserve(files.size());
+  for (const fs::path& f : files) {
+    Unit u;
+    if (load_unit(f, u, findings)) units.push_back(std::move(u));
+  }
+  ProjectIndex ix;
+  for (const Unit& u : units) index_unit(u, ix, findings);
+
+  // Phase 2: per-file rules, then the cross-file passes.
+  for (const Unit& u : units) {
+    check_pragma_once(u.file, u.scan, findings);
+    check_include_order(u.file, u.scan, findings);
+    check_c_casts(u.file, u.scan, u.sup, findings);
+    check_rng(u.file, u.scan, u.sup, findings);
+    check_mutex_guard(u.file, u.scan, u.sup, findings);
+    check_hot_paths(u.file, u.scan, u.sup, findings);
+    check_view_lifetime(u, ix, findings);
+    check_exhaustive_switch(u, ix, findings);
+    check_untrusted_length(u, ix, findings);
+  }
+  check_lock_order(units, ix, dot_path, findings);
+
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.file != b.file) return a.file < b.file;
                      if (a.line != b.line) return a.line < b.line;
                      return a.rule < b.rule;
                    });
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i ? ",\n " : "\n ") << "{\"file\": \""
+                << json_escape(f.file) << "\", \"line\": " << f.line
+                << ", \"rule\": \"" << json_escape(f.rule)
+                << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
   }
   return findings.empty() ? 0 : 1;
 }
