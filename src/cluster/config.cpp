@@ -1,0 +1,137 @@
+#include "cluster/config.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace plg::cluster {
+
+namespace {
+
+/// Rendezvous score of (shard, node): a pure splitmix64 mix of the
+/// seed and both coordinates. Mixing twice decorrelates shard and node
+/// contributions so one node's scores across shards look independent.
+std::uint64_t rendezvous_score(std::uint64_t seed, std::uint32_t shard,
+                               std::uint32_t node) noexcept {
+  std::uint64_t state = seed ^ (std::uint64_t{shard} * 0x9E3779B97F4A7C15ull);
+  const std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ (std::uint64_t{node} * 0xBF58476D1CE4E5B9ull);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+void ClusterConfig::validate() const {
+  const std::uint32_t n = num_nodes();
+  if (n == 0) {
+    throw std::invalid_argument("ClusterConfig: no nodes");
+  }
+  if (replication == 0 || replication > n) {
+    throw std::invalid_argument(
+        "ClusterConfig: replication must be in [1, num_nodes]");
+  }
+  if (2ull * replication <= n) {
+    // Without pair coverage some (u, v) queries would have no node
+    // holding both labels — the tier could not answer them at all, even
+    // with every node healthy. Fail loudly at config time instead.
+    throw std::invalid_argument(
+        "ClusterConfig: pair coverage requires 2*replication > num_nodes "
+        "(two R-subsets of N nodes may otherwise be disjoint)");
+  }
+  if (key_shards == 0) {
+    throw std::invalid_argument("ClusterConfig: key_shards must be > 0");
+  }
+}
+
+std::uint32_t ClusterConfig::shard_of(std::uint64_t id) const noexcept {
+  std::uint64_t state = id ^ seed;
+  return static_cast<std::uint32_t>(splitmix64(state) % key_shards);
+}
+
+std::vector<std::uint32_t> ClusterConfig::owners_of_shard(
+    std::uint32_t shard) const {
+  const std::uint32_t n = num_nodes();
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scored;
+  scored.reserve(n);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    scored.emplace_back(rendezvous_score(seed, shard, node), node);
+  }
+  // Highest score first; ties (2^-64 likely) break on node index so the
+  // order is a total function of the config.
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<std::uint32_t> owners;
+  owners.reserve(replication);
+  for (std::uint32_t i = 0; i < replication && i < n; ++i) {
+    owners.push_back(scored[i].second);
+  }
+  return owners;
+}
+
+std::vector<std::vector<std::uint32_t>> ClusterConfig::preference_lists()
+    const {
+  std::vector<std::vector<std::uint32_t>> lists(key_shards);
+  for (std::uint32_t s = 0; s < key_shards; ++s) {
+    lists[s] = owners_of_shard(s);
+  }
+  return lists;
+}
+
+bool ClusterConfig::node_owns(std::uint32_t node, std::uint64_t id) const {
+  const std::vector<std::uint32_t> owners = owners_of_shard(shard_of(id));
+  return std::find(owners.begin(), owners.end(), node) != owners.end();
+}
+
+std::vector<std::uint32_t> ClusterConfig::eligible_nodes(
+    std::uint64_t u, std::uint64_t v) const {
+  const std::vector<std::uint32_t> a = owners_of_shard(shard_of(u));
+  const std::vector<std::uint32_t> b = owners_of_shard(shard_of(v));
+  std::vector<std::uint32_t> both;
+  both.reserve(a.size());
+  for (const std::uint32_t node : a) {
+    if (std::find(b.begin(), b.end(), node) != b.end()) both.push_back(node);
+  }
+  return both;
+}
+
+std::vector<NodeEndpoint> ClusterConfig::parse_nodes(const std::string& spec) {
+  std::vector<NodeEndpoint> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) {
+      throw std::invalid_argument("ClusterConfig: expected host:port, got '" +
+                                  item + "'");
+    }
+    NodeEndpoint ep;
+    ep.host = item.substr(0, colon);
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    unsigned long port = 0;
+    try {
+      port = std::stoul(item.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ClusterConfig: bad port in '" + item + "'");
+    }
+    if (port == 0 || port > 65535) {
+      throw std::invalid_argument("ClusterConfig: port out of range in '" +
+                                  item + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    out.push_back(std::move(ep));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("ClusterConfig: empty node list");
+  }
+  return out;
+}
+
+}  // namespace plg::cluster

@@ -1,0 +1,83 @@
+// ClusterConfig: the static placement map of the distributed serving
+// tier — node endpoints, replication factor R, and the consistent hash
+// from vertex id to an ordered preference list of owning nodes.
+//
+// Placement is rendezvous (highest-random-weight) hashing over a fixed
+// number of key shards: vertex id -> key shard (splitmix64 of the id,
+// mod key_shards), key shard -> the R nodes with the highest
+// seed-derived scores. Rendezvous hashing gives the two properties the
+// tier needs with no coordination state: every participant (partition
+// writer, router, tests) derives the identical preference list from the
+// same (seed, nodes, R), and removing a node only reassigns the shards
+// it owned.
+//
+// Pair-coverage invariant — the reason validate() enforces 2R > N:
+// thin/fat adjacency (and Lemma 7 distance) decoding needs BOTH
+// endpoint labels, so a query (u,v) must be routed to a node holding
+// the labels of u's AND v's key shards. Any two R-subsets of N nodes
+// intersect in at least 2R - N nodes; with 2R > N the intersection is
+// never empty, so every pair query has at least one eligible node and
+// |owners(u) ∩ owners(v)| >= 2R - N replicas to retry across. (For the
+// acceptance configuration N=3, R=2 every pair has at least one owner
+// and most have two.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plg::cluster {
+
+struct NodeEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ClusterConfig {
+  std::vector<NodeEndpoint> nodes;
+
+  /// Replicas per key shard (R). validate() requires 1 <= R <= N and
+  /// the pair-coverage bound 2R > N.
+  std::uint32_t replication = 2;
+
+  /// Consistent-hashing granularity: vertex ids map onto this many key
+  /// shards, each owned by R nodes. More shards = smoother balance.
+  std::uint32_t key_shards = 64;
+
+  /// Seed for shard hashing and rendezvous scores. Every participant
+  /// must use the same seed or placement disagrees.
+  std::uint64_t seed = 0x5eed;
+
+  /// Throws std::invalid_argument when the config cannot serve pair
+  /// queries (no nodes, R out of range, 2R <= N, zero key shards).
+  void validate() const;
+
+  std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(nodes.size());
+  }
+
+  /// Key shard of a vertex id (pure function of id, key_shards, seed).
+  std::uint32_t shard_of(std::uint64_t id) const noexcept;
+
+  /// The R owning nodes of a key shard, highest rendezvous score first.
+  std::vector<std::uint32_t> owners_of_shard(std::uint32_t shard) const;
+
+  /// Preference lists for every key shard: result[s] ==
+  /// owners_of_shard(s). Computed once by the router / partition writer.
+  std::vector<std::vector<std::uint32_t>> preference_lists() const;
+
+  /// True when `node` owns the key shard of `id`.
+  bool node_owns(std::uint32_t node, std::uint64_t id) const;
+
+  /// Nodes eligible for a pair query: owners_of(u) ∩ owners_of(v),
+  /// keeping owners_of(u)'s preference order. Non-empty whenever
+  /// validate() passed.
+  std::vector<std::uint32_t> eligible_nodes(std::uint64_t u,
+                                            std::uint64_t v) const;
+
+  /// Parses "host:port,host:port,..." into `nodes` (other fields keep
+  /// their defaults). Throws std::invalid_argument on malformed input.
+  static std::vector<NodeEndpoint> parse_nodes(const std::string& spec);
+};
+
+}  // namespace plg::cluster

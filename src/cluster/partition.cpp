@@ -1,0 +1,40 @@
+#include "cluster/partition.h"
+
+#include "store/store_writer.h"
+
+namespace plg::cluster {
+
+std::string partition_path(const std::string& dir, std::uint32_t node) {
+  return dir + "/node" + std::to_string(node) + ".plgl";
+}
+
+std::vector<PartitionInfo> write_partitions(const Labeling& labeling,
+                                            const ClusterConfig& cfg,
+                                            const std::string& dir,
+                                            std::size_t store_shards) {
+  cfg.validate();
+  const std::size_t n = labeling.size();
+  const std::vector<std::vector<std::uint32_t>> pref = cfg.preference_lists();
+
+  std::vector<PartitionInfo> infos(cfg.num_nodes());
+  for (std::uint32_t node = 0; node < cfg.num_nodes(); ++node) {
+    std::vector<Label> labels(n);  // default: empty 0-bit labels
+    PartitionInfo& info = infos[node];
+    for (std::size_t id = 0; id < n; ++id) {
+      const std::vector<std::uint32_t>& owners =
+          pref[cfg.shard_of(static_cast<std::uint64_t>(id))];
+      bool owned = false;
+      for (const std::uint32_t o : owners) owned = owned || o == node;
+      if (!owned) continue;
+      labels[id] = labeling[static_cast<Vertex>(id)];
+      info.owned += 1;
+      info.label_bits += labels[id].size_bits();
+    }
+    info.path = partition_path(dir, node);
+    store::StoreWriter::write_file(info.path, Labeling(std::move(labels)),
+                                   store_shards);
+  }
+  return infos;
+}
+
+}  // namespace plg::cluster

@@ -67,6 +67,7 @@ enum class QueryStatus : std::uint8_t {
   kCorrupt,     ///< checksum/decode failure, or the shard is quarantined
   kOverloaded,  ///< chunk load-shed by admission control; retry later
   kDeadlineExceeded,  ///< batch deadline expired before this query ran
+  kUnavailable,  ///< cluster: every replica holding the labels is down
 };
 
 struct QueryResult {
@@ -106,10 +107,42 @@ struct BatchOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
-class QueryService {
+/// The seam between a batch front-end (NetServer, serve_loop) and
+/// whatever answers batches behind it. Two implementations exist: the
+/// local QueryService (labels in this process) and cluster::Router
+/// (scatter/gather over remote nodes) — the TCP serving plane hosts
+/// either without knowing which. Implementations must tolerate
+/// query_batch from multiple threads concurrently and must return every
+/// batch in bounded time (the never-hang contract the front-end's drain
+/// logic relies on).
+class BatchHandler {
+ public:
+  virtual ~BatchHandler() = default;
+
+  /// Answers every request; every result slot is written (answered,
+  /// shed, cancelled, or unavailable) before returning.
+  virtual std::vector<QueryResult> query_batch(
+      const std::vector<QueryRequest>& batch, const BatchOptions& bopt) = 0;
+
+  /// Which decoder/verb this handler serves.
+  virtual QueryKind kind() const noexcept = 0;
+
+  /// Point-in-time counters for the STATS verb and final logging.
+  virtual ServiceStats stats() const = 0;
+
+  /// Extra JSON fields spliced into the STATS object after the standard
+  /// report (e.g. the router's per-node table). Either empty or a
+  /// comma-joinable `"key":value` fragment without braces.
+  virtual std::string extra_stats_json() const { return std::string(); }
+
+  /// Blocks until in-flight work has settled (graceful shutdown).
+  virtual void drain() = 0;
+};
+
+class QueryService final : public BatchHandler {
  public:
   QueryService(std::shared_ptr<const Snapshot> snapshot, ServiceOptions opt);
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -119,7 +152,7 @@ class QueryService {
   /// written — answered, shed, or cancelled); safe to call from multiple
   /// threads concurrently (batches interleave at chunk level).
   std::vector<QueryResult> query_batch(const std::vector<QueryRequest>& batch,
-                                       const BatchOptions& bopt);
+                                       const BatchOptions& bopt) override;
 
   std::vector<QueryResult> query_batch(
       const std::vector<QueryRequest>& batch) {
@@ -135,7 +168,7 @@ class QueryService {
 
   /// Blocks until every worker queue is empty and every worker idle.
   /// Callers must stop submitting batches first (graceful shutdown).
-  void drain();
+  void drain() override;
 
   /// The snapshot new batches would use right now.
   std::shared_ptr<const Snapshot> snapshot() const { return store_.acquire(); }
@@ -143,9 +176,10 @@ class QueryService {
   std::uint64_t generation() const noexcept { return store_.generation(); }
   unsigned threads() const noexcept { return pool_.size(); }
   const ServiceOptions& options() const noexcept { return opt_; }
+  QueryKind kind() const noexcept override { return opt_.kind; }
 
   /// Aggregated counters + latency histogram + snapshot info.
-  ServiceStats stats() const;
+  ServiceStats stats() const override;
 
  private:
   struct WorkerState;

@@ -106,6 +106,7 @@ enum class ResultCode : std::uint8_t {
   kCorrupt = 3,
   kOverloaded = 4,
   kDeadline = 5,
+  kUnavailable = 6,  ///< cluster router: no live replica holds both labels
 };
 
 struct FrameHeader {

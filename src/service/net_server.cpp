@@ -48,6 +48,8 @@ wire::ResultCode result_code(Verb verb, const QueryResult& r) noexcept {
       return wire::ResultCode::kOverloaded;
     case QueryStatus::kDeadlineExceeded:
       return wire::ResultCode::kDeadline;
+    case QueryStatus::kUnavailable:
+      return wire::ResultCode::kUnavailable;
   }
   return wire::ResultCode::kCorrupt;
 }
@@ -116,8 +118,8 @@ struct NetServer::Conn {
   }
 };
 
-NetServer::NetServer(QueryService& svc, NetServerOptions opt)
-    : svc_(svc),
+NetServer::NetServer(BatchHandler& handler, NetServerOptions opt)
+    : handler_(handler),
       opt_(std::move(opt)),
       epoch_(std::chrono::steady_clock::now()) {
   if (opt_.tick_ms == 0) opt_.tick_ms = 1;
@@ -215,11 +217,11 @@ void NetServer::join() {
   if (reserve_fd_ >= 0) ::close(reserve_fd_);
   reserve_fd_ = -1;
   // Let in-flight engine work settle so final stats are complete.
-  svc_.drain();
+  handler_.drain();
 }
 
 ServiceStats NetServer::stats() const {
-  ServiceStats s = svc_.stats();
+  ServiceStats s = handler_.stats();
   s.fill_net(net_, open_conns_.load(std::memory_order_relaxed));
   return s;
 }
@@ -573,7 +575,16 @@ NetServer::FrameAction NetServer::handle_frame(Conn& c,
         wire::put_header(resp, Verb::kPing, FrameStatus::kOk, hdr.request_id,
                          0);
       } else {
-        const std::string json = stats().to_json();
+        std::string json = stats().to_json();
+        // Splice handler-specific fields (the router's per-node table)
+        // into the standard report: "...}" -> "...,<extra>}".
+        const std::string extra = handler_.extra_stats_json();
+        if (!extra.empty() && !json.empty() && json.back() == '}') {
+          json.pop_back();
+          json += ',';
+          json += extra;
+          json += '}';
+        }
         wire::put_header(resp, Verb::kStats, FrameStatus::kOk, hdr.request_id,
                          static_cast<std::uint32_t>(json.size()));
         resp.insert(resp.end(), json.begin(), json.end());
@@ -635,7 +646,7 @@ NetServer::FrameAction NetServer::admit_batch(Conn& c,
                                  ? QueryKind::kAdjacency
                                  : QueryKind::kDistance;
   const bool semantic_reject =
-      svc_.options().kind != expected || draining_;
+      handler_.kind() != expected || draining_;
   if (semantic_reject) {
     const FrameStatus status =
         draining_ ? FrameStatus::kShutdown : FrameStatus::kWrongScheme;
@@ -879,7 +890,8 @@ void NetServer::dispatcher_main() {
     }
     BatchOptions bopt;
     bopt.deadline = job.deadline;
-    const std::vector<QueryResult> results = svc_.query_batch(job.reqs, bopt);
+    const std::vector<QueryResult> results =
+        handler_.query_batch(job.reqs, bopt);
     Completion comp;
     comp.token = job.token;
     comp.bytes = encode_batch_response(job.verb, job.request_id, results);

@@ -115,8 +115,10 @@ struct NetServerOptions {
 class NetServer {
  public:
   /// Binds and listens (throws std::runtime_error on failure) but does
-  /// not serve yet; port() is valid once constructed.
-  NetServer(QueryService& svc, NetServerOptions opt);
+  /// not serve yet; port() is valid once constructed. The handler is
+  /// either a local QueryService or a cluster Router — the serving
+  /// plane is identical for both.
+  NetServer(BatchHandler& handler, NetServerOptions opt);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -192,7 +194,7 @@ class NetServer {
   void begin_drain();
   std::uint64_t now_tick() const;
 
-  QueryService& svc_;
+  BatchHandler& handler_;
   NetServerOptions opt_;
   NetCounters net_;
 

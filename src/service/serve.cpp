@@ -85,6 +85,9 @@ void write_result(std::ostream& out, QueryKind kind, const QueryResult& r) {
     case QueryStatus::kDeadlineExceeded:
       out << "deadline\n";
       return;
+    case QueryStatus::kUnavailable:
+      out << "unavailable\n";
+      return;
     case QueryStatus::kOk:
       break;
   }

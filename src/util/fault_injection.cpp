@@ -35,6 +35,7 @@ std::atomic<std::uint64_t> g_accept_calls{0};
 std::atomic<std::uint64_t> g_net_read_calls{0};
 std::atomic<std::uint64_t> g_net_write_calls{0};
 std::atomic<std::uint64_t> g_mmap_calls{0};
+std::atomic<std::uint64_t> g_connect_calls{0};
 std::atomic<std::uint64_t> g_budget_used{0};
 std::atomic<std::uint64_t> g_injected_stalls{0};
 std::atomic<std::uint64_t> g_injected_shard_fails{0};
@@ -44,6 +45,7 @@ std::atomic<std::uint64_t> g_injected_wire_flips{0};
 std::atomic<std::uint64_t> g_injected_short_writes{0};
 std::atomic<std::uint64_t> g_injected_mmap_fails{0};
 std::atomic<std::uint64_t> g_injected_map_flips{0};
+std::atomic<std::uint64_t> g_injected_connect_fails{0};
 
 /// Claims one unit of the plan's shared fault budget. True = the fault
 /// may fire. With no budget configured every claim succeeds.
@@ -105,6 +107,8 @@ FaultPlan FaultPlan::parse_spec(const std::string& spec) {
       plan.wire_flip_every = v;
     } else if (key == "wire-short") {
       plan.wire_short_every = v;
+    } else if (key == "connect-fail") {
+      plan.connect_fail_every = v;
     } else if (key == "mmap-fail") {
       plan.mmap_fail_every = v;
     } else if (key == "map-flip") {
@@ -127,6 +131,7 @@ void enable(const FaultPlan& plan) {
   g_net_read_calls.store(0, std::memory_order_relaxed);
   g_net_write_calls.store(0, std::memory_order_relaxed);
   g_mmap_calls.store(0, std::memory_order_relaxed);
+  g_connect_calls.store(0, std::memory_order_relaxed);
   g_budget_used.store(0, std::memory_order_relaxed);
   g_injected_stalls.store(0, std::memory_order_relaxed);
   g_injected_shard_fails.store(0, std::memory_order_relaxed);
@@ -136,6 +141,7 @@ void enable(const FaultPlan& plan) {
   g_injected_short_writes.store(0, std::memory_order_relaxed);
   g_injected_mmap_fails.store(0, std::memory_order_relaxed);
   g_injected_map_flips.store(0, std::memory_order_relaxed);
+  g_injected_connect_fails.store(0, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_release);
 }
 
@@ -222,6 +228,16 @@ bool should_fail_accept() noexcept {
   return true;
 }
 
+bool should_fail_connect() noexcept {
+  if (!enabled() || g_plan.connect_fail_every == 0) return false;
+  const std::uint64_t n =
+      g_connect_calls.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % g_plan.connect_fail_every != 0) return false;
+  if (!claim_budget()) return false;
+  g_injected_connect_fails.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void on_net_read(std::uint8_t* data, std::size_t n) noexcept {
   if (!enabled() || g_plan.wire_flip_every == 0 || n == 0) return;
   const std::uint64_t call =
@@ -279,6 +295,7 @@ ServiceFaultCounters service_fault_counters() noexcept {
   c.short_writes = g_injected_short_writes.load(std::memory_order_relaxed);
   c.mmap_fails = g_injected_mmap_fails.load(std::memory_order_relaxed);
   c.map_flips = g_injected_map_flips.load(std::memory_order_relaxed);
+  c.connect_fails = g_injected_connect_fails.load(std::memory_order_relaxed);
   return c;
 }
 

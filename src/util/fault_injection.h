@@ -118,6 +118,11 @@ struct FaultPlan {
   /// resume and the write-stall timeout machinery).
   std::uint64_t wire_short_every = 0;
 
+  /// When k > 0, every k-th outbound NetClient connect() is failed
+  /// before the socket is created (unreachable node; exercises the
+  /// router's replica-failover and health-demotion paths).
+  std::uint64_t connect_fail_every = 0;
+
   /// Total cap on injected *service* faults (stalls + shard fails +
   /// query fails + accept fails + wire flips + short writes). Unset =
   /// unlimited. A finite budget lets a chaos test storm
@@ -129,6 +134,7 @@ struct FaultPlan {
   ///   "seed=7,flips=3,truncate=128,short-read=4,write-fail=64,alloc-cap=1048576"
   ///   ",stall-every=5,stall-ms=2,shard-fail=3,query-fail=7,budget=200"
   ///   ",accept-fail=5,wire-flip=9,wire-short=4,mmap-fail=2,map-flip=6"
+  ///   ",connect-fail=3"
   /// Unknown keys or malformed values throw std::invalid_argument.
   static FaultPlan parse_spec(const std::string& spec);
 };
@@ -143,9 +149,10 @@ struct ServiceFaultCounters {
   std::uint64_t short_writes = 0;
   std::uint64_t mmap_fails = 0;
   std::uint64_t map_flips = 0;
+  std::uint64_t connect_fails = 0;
   std::uint64_t total() const noexcept {
     return stalls + shard_fails + query_fails + accept_fails + wire_flips +
-           short_writes + mmap_fails + map_flips;
+           short_writes + mmap_fails + map_flips + connect_fails;
   }
 };
 
@@ -229,6 +236,11 @@ bool should_fail_query() noexcept;
 /// server must close the connection immediately (injected accept
 /// failure).
 bool should_fail_accept() noexcept;
+
+/// Called by NetClient::connect before creating the socket. True means
+/// the connect must fail without touching the network (injected
+/// unreachable node).
+bool should_fail_connect() noexcept;
 
 /// Called by the TCP server after each successful socket read. When the
 /// plan says this read is corrupted, XOR-flips one seed-determined byte

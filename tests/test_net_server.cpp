@@ -41,23 +41,34 @@ using wire::FrameStatus;
 using wire::ResultCode;
 using wire::Verb;
 
-/// Bounds every blocking read a test performs, so a server bug shows up
-/// as a test failure instead of a hung ctest run.
-void bound_reads(int fd, int ms = 10'000) {
-  timeval tv{};
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = (ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+/// Bounds every client operation a test performs, so a server bug shows
+/// up as a test failure instead of a hung ctest run.
+void bound_reads(NetClient& c, std::uint32_t ms = 10'000) {
+  c.set_timeout_ms(ms);
 }
 
 /// Waits for an orderly server-side close (read returns 0). False on
-/// timeout or if payload bytes other than well-formed frames remain.
-bool await_eof(int fd) {
+/// timeout or error. NetClient sockets are non-blocking, so this polls.
+bool await_eof(int fd, int ms = 10'000) {
   std::uint8_t buf[512];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, static_cast<int>(left.count() + 1));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return false;
     const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
     if (r == 0) return true;
-    if (r < 0) return false;  // timeout / error
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    if (r < 0) return false;
   }
 }
 
@@ -112,6 +123,8 @@ ResultCode adj_code(const QueryResult& r) {
       return ResultCode::kOverloaded;
     case QueryStatus::kDeadlineExceeded:
       return ResultCode::kDeadline;
+    case QueryStatus::kUnavailable:
+      return ResultCode::kUnavailable;
   }
   return ResultCode::kCorrupt;
 }
@@ -122,7 +135,7 @@ TEST(NetServer, PingStatsDeadlineRoundTrip) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   NetResponse resp;
   ASSERT_TRUE(c.ping(11, resp));
@@ -145,7 +158,7 @@ TEST(NetServer, AdjacencyBatchMatchesDirectEngine) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   Rng rng(123);
   const std::uint64_t n = ts.snap->size();
@@ -174,7 +187,7 @@ TEST(NetServer, PipelinedFramesAllAnswerWithMatchingIds) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   // Fire 6 frames back-to-back, then collect 6 responses. IDs may come
   // back in any order (shed answers can overtake engine answers), so
@@ -206,7 +219,7 @@ TEST(NetServer, UnknownVerbIsRecoverable) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   std::vector<std::uint8_t> frame;
   wire::put_header(frame, Verb::kPing, FrameStatus::kOk, 77, 0);
@@ -228,7 +241,7 @@ TEST(NetServer, BadMagicClosesAfterErrorFrame) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   std::vector<std::uint8_t> junk(wire::kHeaderSize, 0xAB);
   ASSERT_TRUE(c.send_bytes(junk));
@@ -247,7 +260,7 @@ TEST(NetServer, OversizeLengthIsRejectedWithoutBuffering) {
   TestServer ts(nopt);
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   std::vector<std::uint8_t> frame;
   wire::put_header(frame, Verb::kAdjBatch, FrameStatus::kOk, 9,
@@ -265,7 +278,7 @@ TEST(NetServer, RaggedBatchPayloadIsFatal) {
   TestServer ts;
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   std::vector<std::uint8_t> frame;
   wire::put_header(frame, Verb::kAdjBatch, FrameStatus::kOk, 5, 17);
@@ -283,7 +296,7 @@ TEST(NetServer, WrongSchemeVerbAnsweredInBandConnectionSurvives) {
   TestServer ts;  // adjacency-kind engine
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
 
   NetResponse resp;
   ASSERT_TRUE(c.batch(Verb::kDistBatch, 21, {{0, 1}}, resp));
@@ -303,7 +316,7 @@ TEST(NetServer, IdleConnectionIsClosedBySlowlorisDefense) {
   TestServer ts(nopt);
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd(), 5000);
+  bound_reads(c, 5000);
   // Send a partial header (classic slowloris: trickle, then stall).
   const std::vector<std::uint8_t> partial = {0x50, 0x4C};
   ASSERT_TRUE(c.send_bytes(partial));
@@ -375,12 +388,12 @@ TEST(NetServer, ConnectionCapRejectsInBand) {
   ASSERT_TRUE(a.connect(ts.port()));
   ASSERT_TRUE(b.connect(ts.port()));
   NetResponse resp;
-  bound_reads(a.fd());
+  bound_reads(a);
   ASSERT_TRUE(a.ping(1, resp));  // both are registered now
 
   NetClient over;
   ASSERT_TRUE(over.connect(ts.port()));  // TCP accept succeeds...
-  bound_reads(over.fd());
+  bound_reads(over);
   // ...but the server answers kOverCapacity and closes.
   NetResponse rej;
   ASSERT_TRUE(over.read_response(rej));
@@ -418,7 +431,7 @@ TEST(NetServer, FullDispatchQueueShedsInBandWithOverloaded) {
 
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
   constexpr std::uint32_t kFrames = 10;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> qs(32, {1, 2});
   std::vector<std::uint8_t> bytes;
@@ -461,7 +474,7 @@ TEST(NetServer, GracefulDrainCompletesInFlightWork) {
     threads.emplace_back([&, t] {
       NetClient c;
       if (!c.connect(ts.port())) return;
-      bound_reads(c.fd());
+      bound_reads(c);
       Rng rng(static_cast<std::uint64_t>(t) + 1);
       const std::uint64_t n = ts.snap->size();
       std::uint32_t id = 0;
@@ -528,7 +541,7 @@ TEST(NetServer, StormValidAndHostileClientsStayCorrect) {
         valid_failures.fetch_add(1);
         return;
       }
-      bound_reads(c.fd());
+      bound_reads(c);
       Rng rng(static_cast<std::uint64_t>(t) * 31 + 5);
       const std::uint64_t n = ts.snap->size();
       for (std::uint32_t id = 0; id < 12; ++id) {
@@ -567,7 +580,7 @@ TEST(NetServer, StormValidAndHostileClientsStayCorrect) {
       Rng rng(static_cast<std::uint64_t>(t) * 97 + 13);
       NetClient c;
       if (!c.connect(ts.port())) return;
-      bound_reads(c.fd(), 3000);
+      bound_reads(c, 3000);
       switch (t % 4) {
         case 0: {  // pure garbage
           std::vector<std::uint8_t> junk(256);
@@ -619,7 +632,7 @@ TEST(NetServer, StormValidAndHostileClientsStayCorrect) {
   // The server survived and still answers a fresh client.
   NetClient after;
   ASSERT_TRUE(after.connect(ts.port()));
-  bound_reads(after.fd());
+  bound_reads(after);
   NetResponse resp;
   ASSERT_TRUE(after.ping(999, resp));
   EXPECT_EQ(resp.header.request_id, 999u);
@@ -647,7 +660,7 @@ TEST(NetServer, SocketChaosInjectionsNeverCrashTheServer) {
         for (int attempt = 0; attempt < 6; ++attempt) {
           NetClient c;
           if (!c.connect(ts.port())) continue;  // injected accept failure
-          bound_reads(c.fd(), 3000);
+          bound_reads(c, 3000);
           std::vector<std::pair<std::uint64_t, std::uint64_t>> qs(16);
           for (auto& q : qs) {
             q.first = rng.next_below(n);
@@ -668,7 +681,7 @@ TEST(NetServer, SocketChaosInjectionsNeverCrashTheServer) {
   // Faults disabled: the server must serve a fresh client correctly.
   NetClient c;
   ASSERT_TRUE(c.connect(ts.port()));
-  bound_reads(c.fd());
+  bound_reads(c);
   const std::vector<std::pair<std::uint64_t, std::uint64_t>> qs = {{0, 1},
                                                                    {2, 3}};
   NetResponse resp;

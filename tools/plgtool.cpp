@@ -62,6 +62,36 @@
 //       verdict, label count/bytes, label-size distribution, fat/thin
 //       split. v3 stores additionally report the shard count; the
 //       integrity verdict covers every shard's CRC.
+//   plgtool stats --tcp <port> [--host H]
+//       fetch the one-line JSON stats report from a live --tcp server
+//       (a `serve --tcp` node or a `route` front-end; the router's
+//       report embeds a "cluster" object with per-node health and
+//       retry/hedge counters).
+//   plgtool partition <graph.txt> <outdir> --nodes N [--replication R]
+//                     [--key-shards K] [--cluster-seed S] [--shards S]
+//                     [--scheme thin-fat|distance] [--f F] [--alpha A]
+//                     [--cprime C|fit] [--tau T]
+//       encode the graph once and split the labeling into N per-node v3
+//       stores <outdir>/node<i>.plgl by rendezvous-hashed key shards,
+//       each label replicated to its shard's R owners. Every node file
+//       keeps the full global id space (non-owned slots hold empty
+//       labels), so each is served by an unmodified `serve --tcp`.
+//   plgtool route --nodes host:port,... --tcp PORT [--replication R]
+//                 [--key-shards K] [--cluster-seed S]
+//                 [--scheme thin-fat|distance] [--per-try-ms MS]
+//                 [--budget-ms MS] [--retries N] [--no-hedge]
+//                 [--hedge-min-us US] [--hedge-max-us US] [--no-probe]
+//                 [--flow-threads T] [--suspect-after N]
+//                 [--quarantine-after N] [--max-conns N] [--idle-ms MS]
+//                 [--stall-ms MS]
+//       stateless scatter/gather router over a set of `serve --tcp`
+//       nodes holding `partition` outputs: speaks the same binary frame
+//       protocol to clients, splits each batch per owning node, retries
+//       retriable failures against the next replica with capped
+//       exponential backoff, hedges stragglers after an adaptive
+//       per-node latency quantile delay, quarantines failing nodes and
+//       probes them back to health. --replication/--key-shards/
+//       --cluster-seed must match the `partition` invocation.
 //
 // Graph files use the `n m` + edge-per-line text format (src/graph/io.h);
 // a `.bin` suffix selects the binary format.
@@ -84,6 +114,11 @@
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
+#include "cluster/config.h"
+#include "cluster/partition.h"
+#include "cluster/router.h"
 #include "plg.h"
 #include "service/engine.h"
 #include "service/net_client.h"
@@ -121,6 +156,18 @@ using namespace plg;
                "  plgtool netbench <port> [--conns N] [--batch B] "
                "[--count Q] [--scheme thin-fat|distance] [--seed S]\n"
                "  plgtool stats <labels.plgl>\n"
+               "  plgtool stats --tcp <port> [--host H]\n"
+               "  plgtool partition <graph> <outdir> --nodes N "
+               "[--replication R] [--key-shards K] [--cluster-seed S] "
+               "[--shards S] [--scheme thin-fat|distance] [--f F] "
+               "[--alpha A] [--cprime C|fit] [--tau T]\n"
+               "  plgtool route --nodes host:port,... --tcp PORT "
+               "[--replication R] [--key-shards K] [--cluster-seed S] "
+               "[--scheme thin-fat|distance] [--per-try-ms MS] "
+               "[--budget-ms MS] [--retries N] [--no-hedge] "
+               "[--hedge-min-us US] [--hedge-max-us US] [--no-probe] "
+               "[--flow-threads T] [--suspect-after N] "
+               "[--quarantine-after N]\n"
                "(all commands: [--fault <spec>] injects deterministic I/O "
                "faults)\n");
   std::exit(2);
@@ -156,6 +203,21 @@ struct Flags {
   std::optional<std::size_t> dispatch_queue;  // serve: admission queue cap
   std::optional<std::size_t> conns;       // netbench: client connections
   std::optional<std::uint64_t> count;     // netbench: total queries
+  std::optional<std::string> nodes;       // partition: count; route: list
+  std::optional<std::uint32_t> replication;   // cluster: R
+  std::optional<std::uint32_t> key_shards;    // cluster: hash granularity
+  std::optional<std::uint64_t> cluster_seed;  // cluster: placement seed
+  std::optional<std::uint32_t> per_try_ms;    // route: per-attempt budget
+  std::optional<std::uint32_t> budget_ms;     // route: whole-batch budget
+  std::optional<std::uint32_t> retries;       // route: attempts per flow
+  bool no_hedge = false;                      // route: disable hedging
+  std::optional<std::uint64_t> hedge_min_us;  // route: hedge-delay floor
+  std::optional<std::uint64_t> hedge_max_us;  // route: hedge-delay cap
+  bool no_probe = false;                      // route: no recovery prober
+  std::optional<unsigned> flow_threads;       // route: scatter workers
+  std::optional<std::uint32_t> suspect_after;     // route: health machine
+  std::optional<std::uint32_t> quarantine_after;  // route: health machine
+  std::optional<std::string> host;            // stats --tcp: server host
 
   static Flags parse(int argc, char** argv, int first) {
     Flags f;
@@ -227,6 +289,44 @@ struct Flags {
         f.conns = std::strtoull(value(), nullptr, 10);
       } else if (key == "--count") {
         f.count = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--nodes") {
+        f.nodes = value();
+      } else if (key == "--replication") {
+        f.replication =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--key-shards") {
+        f.key_shards =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--cluster-seed") {
+        f.cluster_seed = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--per-try-ms") {
+        f.per_try_ms =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--budget-ms") {
+        f.budget_ms =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--retries") {
+        f.retries =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--no-hedge") {
+        f.no_hedge = true;
+      } else if (key == "--hedge-min-us") {
+        f.hedge_min_us = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--hedge-max-us") {
+        f.hedge_max_us = std::strtoull(value(), nullptr, 10);
+      } else if (key == "--no-probe") {
+        f.no_probe = true;
+      } else if (key == "--flow-threads") {
+        f.flow_threads =
+            static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--suspect-after") {
+        f.suspect_after =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--quarantine-after") {
+        f.quarantine_after =
+            static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      } else if (key == "--host") {
+        f.host = value();
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
         usage();
@@ -913,8 +1013,33 @@ int stats_mapped(const std::string& path) {
   return intact ? 0 : 1;
 }
 
+/// stats --tcp: one STATS round trip against a live server (node or
+/// router) and the raw JSON line on stdout.
+int stats_tcp(const Flags& f) {
+  const std::string host = f.host.value_or("127.0.0.1");
+  service::NetClient client;
+  client.set_timeout_ms(5'000);
+  if (!client.connect(static_cast<std::uint16_t>(*f.tcp), host)) {
+    std::fprintf(stderr, "stats: cannot connect to %s:%d\n", host.c_str(),
+                 *f.tcp);
+    return 2;
+  }
+  std::string json;
+  if (!client.stats_json(1, json)) {
+    std::fprintf(stderr, "stats: STATS request failed\n");
+    return 2;
+  }
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) usage();
+  if (std::strcmp(argv[2], "--tcp") == 0) {
+    const Flags f = Flags::parse(argc, argv, 2);
+    if (!f.tcp) usage();
+    return stats_tcp(f);
+  }
   const std::string path = argv[2];
   Flags::parse(argc, argv, 3);  // accepts --fault
   if (store::MappedStore::sniff_file_version(path) == store::kVersion3) {
@@ -965,6 +1090,115 @@ int cmd_stats(int argc, char** argv) {
   return check.ok ? 0 : 1;
 }
 
+// --------------------------------------------------------------- cluster
+
+/// Shared cluster placement knobs (must agree between `partition` and
+/// `route`, or routing and storage disagree on ownership).
+cluster::ClusterConfig cluster_config_from_flags(const Flags& f) {
+  cluster::ClusterConfig cfg;
+  if (f.replication) cfg.replication = *f.replication;
+  if (f.key_shards) cfg.key_shards = *f.key_shards;
+  if (f.cluster_seed) cfg.seed = *f.cluster_seed;
+  return cfg;
+}
+
+int cmd_partition(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string graph_path = argv[2];
+  const std::string outdir = argv[3];
+  const Flags f = Flags::parse(argc, argv, 4);
+  if (!f.nodes) {
+    std::fprintf(stderr, "partition: --nodes N is required\n");
+    usage();
+  }
+  cluster::ClusterConfig cfg = cluster_config_from_flags(f);
+  const unsigned long n_nodes = std::strtoul(f.nodes->c_str(), nullptr, 10);
+  cfg.nodes.assign(n_nodes, cluster::NodeEndpoint{});
+  cfg.validate();  // placement only needs the node count, not endpoints
+
+  const Graph g = load_graph(graph_path);
+  Labeling labeling = [&] {
+    if (f.scheme == "distance") {
+      const double alpha = f.alpha ? *f.alpha : fit_power_law(g).alpha;
+      return DistanceScheme(f.f.value_or(3), alpha).encode(g).labeling;
+    }
+    return encode_with_flags(g, f).labeling;
+  }();
+
+  std::filesystem::create_directories(outdir);
+  const auto infos = cluster::write_partitions(labeling, cfg, outdir,
+                                               f.shards.value_or(8));
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    std::printf("wrote %s: %llu/%zu labels owned, %llu label bytes\n",
+                infos[i].path.c_str(),
+                static_cast<unsigned long long>(infos[i].owned),
+                g.num_vertices(),
+                static_cast<unsigned long long>((infos[i].label_bits + 7) /
+                                                8));
+  }
+  std::printf("partitioned %zu labels over %lu nodes (R=%u, %u key "
+              "shards, seed %llu)\n",
+              labeling.size(), n_nodes, cfg.replication, cfg.key_shards,
+              static_cast<unsigned long long>(cfg.seed));
+  return 0;
+}
+
+int cmd_route(int argc, char** argv) {
+  const Flags f = Flags::parse(argc, argv, 2);
+  if (!f.nodes || !f.tcp) {
+    std::fprintf(stderr, "route: --nodes host:port,... and --tcp PORT are "
+                         "required\n");
+    usage();
+  }
+  if (f.scheme != "thin-fat" && f.scheme != "distance") {
+    std::fprintf(stderr, "unknown --scheme: %s\n", f.scheme.c_str());
+    usage();
+  }
+  cluster::ClusterConfig cfg = cluster_config_from_flags(f);
+  cfg.nodes = cluster::ClusterConfig::parse_nodes(*f.nodes);
+  cfg.validate();
+
+  cluster::RouterOptions ropt;
+  ropt.kind = f.scheme == "distance" ? service::QueryKind::kDistance
+                                     : service::QueryKind::kAdjacency;
+  if (f.per_try_ms) ropt.per_try_ms = *f.per_try_ms;
+  if (f.budget_ms) ropt.batch_budget_ms = *f.budget_ms;
+  if (f.retries) ropt.retry.max_attempts = std::max(1u, *f.retries);
+  ropt.hedge.enabled = !f.no_hedge;
+  if (f.hedge_min_us) ropt.hedge.min_us = *f.hedge_min_us;
+  if (f.hedge_max_us) ropt.hedge.max_us = *f.hedge_max_us;
+  ropt.probe = !f.no_probe;
+  if (f.flow_threads) ropt.flow_threads = *f.flow_threads;
+  if (f.suspect_after) ropt.suspect_after = *f.suspect_after;
+  if (f.quarantine_after) ropt.quarantine_after = *f.quarantine_after;
+
+  cluster::Router router(cfg, ropt);
+  std::fprintf(stderr,
+               "routing %s over %u nodes (R=%u, %u key shards, seed %llu, "
+               "hedge %s, %u attempts)\n",
+               f.scheme.c_str(), cfg.num_nodes(), cfg.replication,
+               cfg.key_shards, static_cast<unsigned long long>(cfg.seed),
+               ropt.hedge.enabled ? "on" : "off", ropt.retry.max_attempts);
+
+  install_serve_signals();
+  service::NetServerOptions nopt;
+  nopt.port = static_cast<std::uint16_t>(*f.tcp);
+  if (f.max_conns) nopt.max_connections = *f.max_conns;
+  if (f.idle_ms) nopt.idle_timeout_ms = *f.idle_ms;
+  if (f.stall_ms) nopt.write_stall_timeout_ms = *f.stall_ms;
+  if (f.dispatchers) nopt.dispatchers = *f.dispatchers;
+  if (f.dispatch_queue) nopt.dispatch_queue_cap = *f.dispatch_queue;
+  nopt.stop = &g_serve_stop;
+  service::NetServer server(router, nopt);
+  std::fprintf(stderr, "listening on %s:%u (binary frame protocol v%u)\n",
+               nopt.bind_address.c_str(), server.port(),
+               service::wire::kWireVersion);
+  server.start();
+  server.join();  // returns after SIGINT/SIGTERM drains the plane
+  std::fprintf(stderr, "final stats: %s\n", server.stats().to_json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -991,6 +1225,8 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "netbench") return cmd_netbench(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "partition") return cmd_partition(argc, argv);
+    if (cmd == "route") return cmd_route(argc, argv);
   } catch (const std::exception& e) {
     // Exit 2 keeps errors distinct from query/lquery/verify's "no" (exit 1).
     std::fprintf(stderr, "error: %s\n", e.what());
